@@ -1,0 +1,77 @@
+#include "bench_common.h"
+
+#include <filesystem>
+
+namespace decima::bench {
+
+int train_iters(int fallback) { return env_int("DECIMA_TRAIN_ITERS", fallback); }
+int bench_runs(int fallback) { return env_int("DECIMA_BENCH_RUNS", fallback); }
+
+core::AgentConfig agent_with_seed(std::uint64_t seed) {
+  core::AgentConfig c;
+  c.seed = seed;
+  return c;
+}
+
+void print_header(const std::string& figure, const std::string& description) {
+  std::cout << "==============================================================\n"
+            << "Reproduction of " << figure << "\n"
+            << description << "\n"
+            << "(training iterations and run counts are scaled down; set\n"
+            << " DECIMA_TRAIN_ITERS / DECIMA_BENCH_RUNS to scale up)\n"
+            << "==============================================================\n\n";
+}
+
+std::unique_ptr<core::DecimaAgent> trained_agent(
+    const core::AgentConfig& agent_config, rl::TrainConfig train_config,
+    const std::string& cache_key, int iters) {
+  auto agent = std::make_unique<core::DecimaAgent>(agent_config);
+  const std::string cache_path =
+      "decima_cache_" + cache_key + "_" + std::to_string(iters) + ".model";
+  if (std::filesystem::exists(cache_path) && agent->load(cache_path)) {
+    std::cout << "[bench] loaded cached policy " << cache_path << "\n";
+  } else {
+    std::cout << "[bench] training policy '" << cache_key << "' for " << iters
+              << " iterations...\n";
+    train_config.num_iterations = iters;
+    rl::ReinforceTrainer trainer(*agent, train_config);
+    trainer.train();
+    if (agent->save(cache_path)) {
+      std::cout << "[bench] cached policy at " << cache_path << "\n";
+    }
+  }
+  agent->set_mode(core::Mode::kGreedy);
+  return agent;
+}
+
+rl::WorkloadSampler tpch_batch_sampler(int num_jobs) {
+  return [num_jobs](std::uint64_t seed) {
+    Rng rng(seed);
+    return workload::batched(workload::sample_tpch_batch(rng, num_jobs));
+  };
+}
+
+rl::WorkloadSampler tpch_continuous_sampler(int num_jobs, double mean_iat) {
+  return [num_jobs, mean_iat](std::uint64_t seed) {
+    Rng rng(seed);
+    auto jobs = workload::sample_tpch_batch(rng, num_jobs);
+    Rng arr(rng.fork());
+    return workload::continuous(std::move(jobs), arr, mean_iat);
+  };
+}
+
+std::vector<double> eval_runs(sim::Scheduler& sched,
+                              const sim::EnvConfig& env,
+                              const rl::WorkloadSampler& sampler, int runs,
+                              std::uint64_t seed_base) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    std::vector<std::vector<workload::ArrivingJob>> w = {
+        sampler(seed_base + static_cast<std::uint64_t>(i))};
+    out.push_back(rl::evaluate_avg_jct(sched, env, w));
+  }
+  return out;
+}
+
+}  // namespace decima::bench

@@ -1,0 +1,55 @@
+// Shared infrastructure for the per-figure/table benchmark harnesses.
+//
+// Each bench binary regenerates the rows/series of one paper table or figure.
+// Decima policies are trained with deliberately small budgets so the whole
+// suite runs in minutes; the budgets scale up via environment variables:
+//   DECIMA_TRAIN_ITERS  — RL training iterations per policy (default ~60)
+//   DECIMA_BENCH_RUNS   — number of evaluation runs/experiments (default ~20)
+// Trained weights are cached next to the binaries, so re-runs and benches
+// sharing a configuration skip training.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "metrics/experiment.h"
+#include "rl/reinforce.h"
+#include "sched/heuristics.h"
+#include "sched/tuning.h"
+#include "util/env_flags.h"
+#include "util/table.h"
+#include "workload/tpch.h"
+#include "workload/trace.h"
+
+namespace decima::bench {
+
+// Default knobs (env-var overridable).
+int train_iters(int fallback = 60);
+int bench_runs(int fallback = 20);
+
+// Default agent configuration with only the seed set.
+core::AgentConfig agent_with_seed(std::uint64_t seed);
+
+// Prints the standard bench header with paper reference.
+void print_header(const std::string& figure, const std::string& description);
+
+// Trains (or loads from cache) a Decima agent. `cache_key` names the weight
+// file; training runs `iters` iterations of `config`. The returned agent is
+// in greedy inference mode.
+std::unique_ptr<core::DecimaAgent> trained_agent(
+    const core::AgentConfig& agent_config, rl::TrainConfig train_config,
+    const std::string& cache_key, int iters);
+
+// Standard batched / continuous TPC-H samplers used across benches.
+rl::WorkloadSampler tpch_batch_sampler(int num_jobs);
+rl::WorkloadSampler tpch_continuous_sampler(int num_jobs, double mean_iat);
+
+// Evaluation over `runs` held-out workloads (seeds disjoint from training,
+// which forks seeds from the trainer's master seed).
+std::vector<double> eval_runs(sim::Scheduler& sched,
+                              const sim::EnvConfig& env,
+                              const rl::WorkloadSampler& sampler, int runs,
+                              std::uint64_t seed_base = 900000);
+
+}  // namespace decima::bench

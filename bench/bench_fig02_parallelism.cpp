@@ -1,0 +1,62 @@
+// Figure 2: job runtime vs. degree of parallelism for TPC-H queries.
+//
+// The paper shows Q9@100GB scaling up to ~40 parallel tasks, Q2@100GB
+// saturating near 20, and Q9@2GB needing only ~5 — distinct "sweet spots"
+// per (query, input size). We sweep parallelism for the same three configs
+// on the simulator and print the runtime series.
+#include "bench_common.h"
+
+#include "sched/heuristics.h"
+
+using namespace decima;
+
+namespace {
+
+double runtime_at(const sim::JobSpec& job, int parallelism) {
+  sim::EnvConfig c;
+  c.num_executors = parallelism;
+  c.enable_moving_delay = false;  // single job, no competition
+  sim::ClusterEnv env(c);
+  env.add_job(job, 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  return env.jobs()[0].finish;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 2",
+      "TPC-H queries scale differently with parallelism: runtime vs. degree\n"
+      "of parallelism for Q9@100GB, Q2@100GB, Q9@2GB.");
+
+  const auto q9_100 = workload::make_tpch_job(9, 100);
+  const auto q2_100 = workload::make_tpch_job(2, 100);
+  const auto q9_2 = workload::make_tpch_job(9, 2);
+
+  Table t({"parallelism", "Q9 100GB [s]", "Q2 100GB [s]", "Q9 2GB [s]"});
+  for (int p : {1, 2, 5, 10, 20, 30, 40, 50, 60, 80, 100}) {
+    t.add_row({fmt_int(p), fmt(runtime_at(q9_100, p), 1),
+               fmt(runtime_at(q2_100, p), 1), fmt(runtime_at(q9_2, p), 1)});
+  }
+  std::cout << t.to_string();
+
+  // Sweet-spot summary: the knee of each curve (parallelism past which less
+  // than 3% improvement remains).
+  auto sweet_spot = [&](const sim::JobSpec& job) {
+    double prev = runtime_at(job, 1);
+    for (int p = 2; p <= 100; ++p) {
+      const double cur = runtime_at(job, p);
+      if (cur > prev * 0.995) return p - 1;
+      prev = cur;
+    }
+    return 100;
+  };
+  std::cout << "\nempirical sweet spots (paper: Q9@100GB ~40, Q2@100GB ~20, "
+               "Q9@2GB ~5):\n"
+            << "  Q9 100GB: " << sweet_spot(q9_100) << "\n"
+            << "  Q2 100GB: " << sweet_spot(q2_100) << "\n"
+            << "  Q9 2GB:   " << sweet_spot(q9_2) << "\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 7 (§5.3): how different job arrival sequences after the same state
+// lead to vastly different reward feedback — the motivation for the
+// input-dependent baseline. We fix a common prefix, then continue with two
+// different Poisson suffixes (10s mean interarrival, random TPC-H queries)
+// and print the penalty (negative reward) time series for both.
+#include "bench_common.h"
+
+using namespace decima;
+
+namespace {
+
+// Runs the prefix + one of two suffixes and samples the job-count penalty
+// over time under a fair scheduler.
+std::vector<double> penalty_series(std::uint64_t suffix_seed, double horizon,
+                                   double step) {
+  sim::EnvConfig env;
+  env.num_executors = 20;
+  sim::ClusterEnv cluster(env);
+
+  // Common prefix: 10 jobs, one per 20s.
+  Rng prefix(7);
+  for (int i = 0; i < 10; ++i) {
+    cluster.add_job(workload::sample_tpch_job(prefix),
+                    static_cast<double>(i) * 20.0);
+  }
+  // Divergent suffix after t=200: Poisson(10s) arrivals.
+  Rng suffix(suffix_seed);
+  double t = 200.0;
+  for (int i = 0; i < 40; ++i) {
+    t += suffix.exponential(10.0);
+    cluster.add_job(workload::sample_tpch_job(suffix), t);
+  }
+
+  sched::WeightedFairScheduler fair(0.0);
+  cluster.run(fair, horizon);
+
+  // Penalty rate = number of jobs in system (the integrand of r_k).
+  std::vector<double> series;
+  const auto& jobs = cluster.jobs();
+  for (double q = 0.0; q <= horizon; q += step) {
+    double count = 0;
+    for (const auto& j : jobs) {
+      const double fin = j.done() ? j.finish : cluster.now();
+      if (j.arrived && q >= j.arrival && q < fin) ++count;
+    }
+    series.push_back(count);
+  }
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 7 (§5.3)",
+      "Same state at t=200s, two different Poisson arrival suffixes (mean\n"
+      "IAT 10s): the penalty (jobs in system) diverges dramatically even\n"
+      "though the policy's actions are identical up to t.");
+
+  const double horizon = 700.0, step = 10.0;
+  const auto seq1 = penalty_series(101, horizon, step);
+  const auto seq2 = penalty_series(202, horizon, step);
+
+  Table t({"time [s]", "penalty seq 1", "penalty seq 2"});
+  for (std::size_t i = 0; i < seq1.size(); i += 5) {
+    t.add_row({fmt(static_cast<double>(i) * step, 0), fmt(seq1[i], 0),
+               fmt(seq2[i], 0)});
+  }
+  std::cout << t.to_string();
+  std::cout << "\nseq1: " << ascii_sparkline(seq1) << "\n"
+            << "seq2: " << ascii_sparkline(seq2) << "\n";
+
+  double max_gap = 0.0;
+  for (std::size_t i = 0; i < seq1.size(); ++i) {
+    max_gap = std::max(max_gap, std::abs(seq1[i] - seq2[i]));
+  }
+  std::cout << "\nmax penalty divergence after t: " << fmt(max_gap, 0)
+            << " jobs — reward variance unrelated to the policy's action,\n"
+               "which the input-dependent baseline (§5.3) removes.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 9 (§7.2): the headline Spark-cluster comparison.
+//  (a) Batched arrivals: CDF of average JCT over many experiments for all
+//      seven baselines + Decima (paper: Decima 21% better than the closest
+//      heuristic, opt. weighted fair).
+//  (b) Continuous arrivals: Poisson job stream at high load; Decima vs the
+//      only heuristic that keeps up (paper: 29% lower avg JCT).
+#include "bench_common.h"
+
+using namespace decima;
+
+int main() {
+  bench::print_header(
+      "Figure 9 (§7.2)",
+      "(a) batched TPC-H arrivals: avg JCT distribution across experiments;\n"
+      "(b) continuous Poisson arrivals at high load: Decima vs tuned\n"
+      "weighted fair. Scaled-down cluster; shape, not absolute numbers.");
+
+  // ---------------- (a) batched arrivals --------------------------------
+  sim::EnvConfig env;
+  env.num_executors = 25;
+  const int batch_jobs = 12;
+  const auto sampler = bench::tpch_batch_sampler(batch_jobs);
+
+  // Tune weighted fair's alpha as the paper does (coarse grid for speed).
+  std::vector<std::vector<workload::ArrivingJob>> tune_set;
+  for (int i = 0; i < 3; ++i) tune_set.push_back(sampler(777 + static_cast<std::uint64_t>(i)));
+  const auto tuned =
+      sched::tune_weighted_fair_alpha(env, tune_set, sched::alpha_grid(0.5));
+  std::cout << "[tune] opt weighted fair alpha = " << fmt(tuned.alpha, 1)
+            << " (paper: ~-1)\n";
+
+  rl::TrainConfig train;
+  train.episodes_per_iter = 8;
+  train.num_threads = 8;
+  train.curriculum = false;
+  train.differential_reward = false;
+  train.env = env;
+  train.sampler = sampler;
+  auto decima = bench::trained_agent(bench::agent_with_seed(5), train,
+                                     "fig09a_batch", bench::train_iters(80));
+
+  sched::FifoScheduler fifo;
+  sched::SjfCpScheduler sjf;
+  sched::WeightedFairScheduler fair(0.0);
+  sched::WeightedFairScheduler naive(1.0);
+  sched::WeightedFairScheduler opt(tuned.alpha);
+  sched::TetrisScheduler tetris;
+  sched::GrapheneScheduler graphene;
+  std::vector<sim::Scheduler*> scheds = {&fifo,  &sjf,     &fair,
+                                         &naive, &opt,     &tetris,
+                                         &graphene, decima.get()};
+
+  const int runs = bench::bench_runs(20);
+  std::cout << "\n--- Fig. 9a: batched arrivals, " << batch_jobs
+            << " jobs x " << runs << " experiments ---\n";
+  Table ta({"scheduler", "mean avg JCT [s]", "p25 [s]", "p75 [s]"});
+  std::vector<std::pair<std::string, double>> summary;
+  for (sim::Scheduler* s : scheds) {
+    auto jcts = bench::eval_runs(*s, env, sampler, runs);
+    summary.emplace_back(s->name(), mean_of(jcts));
+    ta.add_row({s->name(), fmt(mean_of(jcts), 1), fmt(percentile(jcts, 25), 1),
+                fmt(percentile(jcts, 75), 1)});
+  }
+  std::cout << ta.to_string();
+  double best_heuristic = 1e18;
+  for (std::size_t i = 0; i + 1 < summary.size(); ++i) {
+    best_heuristic = std::min(best_heuristic, summary[i].second);
+  }
+  std::cout << "\nDecima vs best heuristic: "
+            << fmt_pct((best_heuristic - summary.back().second) /
+                       best_heuristic)
+            << " improvement (paper: 21% vs opt. weighted fair)\n";
+
+  // ---------------- (b) continuous arrivals --------------------------------
+  std::cout << "\n--- Fig. 9b: continuous arrivals (high load) ---\n";
+  sim::EnvConfig cenv;
+  cenv.num_executors = 15;
+  const auto csampler = bench::tpch_continuous_sampler(/*num_jobs=*/20,
+                                                       /*mean_iat=*/40.0);
+  rl::TrainConfig ctrain;
+  ctrain.episodes_per_iter = 8;
+  ctrain.num_threads = 8;
+  ctrain.curriculum = true;
+  ctrain.tau_mean_init = 400.0;
+  ctrain.tau_mean_max = 2000.0;
+  ctrain.tau_mean_growth = 40.0;
+  ctrain.differential_reward = true;
+  ctrain.env = cenv;
+  ctrain.sampler = csampler;
+  auto cdecima = bench::trained_agent(bench::agent_with_seed(7), ctrain,
+                                      "fig09b_continuous",
+                                      bench::train_iters(40));
+
+  const auto ctuned = sched::tune_weighted_fair_alpha(
+      cenv, {csampler(881), csampler(882)}, sched::alpha_grid(0.5));
+  sched::WeightedFairScheduler copt(ctuned.alpha);
+
+  const int cruns = std::max(4, runs / 4);
+  Table tb({"scheduler", "mean avg JCT [s]"});
+  const auto jct_opt = bench::eval_runs(copt, cenv, csampler, cruns);
+  const auto jct_dec = bench::eval_runs(*cdecima, cenv, csampler, cruns);
+  tb.add_row({"Opt. weighted fair", fmt(mean_of(jct_opt), 1)});
+  tb.add_row({"Decima", fmt(mean_of(jct_dec), 1)});
+  std::cout << tb.to_string();
+  std::cout << "\nDecima vs opt. weighted fair: "
+            << fmt_pct((mean_of(jct_opt) - mean_of(jct_dec)) /
+                       mean_of(jct_opt))
+            << " (paper: 29% lower avg JCT)\n";
+  return 0;
+}

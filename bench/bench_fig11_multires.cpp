@@ -1,0 +1,89 @@
+// Figure 11 (§7.3): multi-dimensional resource packing.
+//  (a) industrial trace replay: Decima vs opt. weighted fair, Tetris,
+//      Graphene* (paper: Decima 32% lower avg JCT than Graphene*).
+//  (b) TPC-H with per-stage memory requests sampled from (0,1]
+//      (paper: 43% lower than Graphene*).
+#include "bench_common.h"
+
+using namespace decima;
+
+namespace {
+
+void run_comparison(const std::string& label, const sim::EnvConfig& env,
+                    const rl::WorkloadSampler& sampler,
+                    const std::string& cache_key, const std::string& paper) {
+  rl::TrainConfig train;
+  train.episodes_per_iter = 8;
+  train.num_threads = 8;
+  train.curriculum = false;
+  train.differential_reward = false;
+  train.env = env;
+  train.sampler = sampler;
+  core::AgentConfig ac;
+  ac.multi_resource = true;
+  ac.seed = 17;
+  auto decima =
+      bench::trained_agent(ac, train, cache_key, bench::train_iters(40));
+
+  const auto tuned = sched::tune_graphene(env, {sampler(551), sampler(552)});
+  sched::GrapheneScheduler graphene(tuned.config);
+  sched::WeightedFairScheduler opt(-1.0);
+  sched::TetrisScheduler tetris;
+
+  const int runs = bench::bench_runs(8);
+  Table t({"scheduler", "mean avg JCT [s]"});
+  std::vector<std::pair<std::string, double>> rows;
+  for (sim::Scheduler* s : std::vector<sim::Scheduler*>{
+           &opt, &tetris, &graphene, decima.get()}) {
+    const auto jcts = bench::eval_runs(*s, env, sampler, runs);
+    rows.emplace_back(s->name(), mean_of(jcts));
+    t.add_row({s->name(), fmt(rows.back().second, 1)});
+  }
+  std::cout << "--- " << label << " ---\n" << t.to_string();
+  const double graphene_jct = rows[2].second;
+  const double decima_jct = rows[3].second;
+  std::cout << "Decima vs Graphene*: "
+            << fmt_pct((graphene_jct - decima_jct) / graphene_jct) << " ("
+            << paper << ")\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 11 (§7.3)",
+      "Multi-resource scheduling with four executor memory classes\n"
+      "(0.25/0.5/0.75/1.0): industrial trace replay and TPC-H with\n"
+      "random memory requests.");
+
+  sim::EnvConfig env;
+  env.num_executors = 16;
+  env.classes = {{0.25, "s"}, {0.5, "m"}, {0.75, "l"}, {1.0, "xl"}};
+
+  // (a) industrial trace: continuous windows of the synthetic trace.
+  rl::WorkloadSampler trace_sampler = [](std::uint64_t seed) {
+    workload::TraceConfig cfg;
+    cfg.num_jobs = 18;
+    cfg.mean_iat = 25.0;
+    cfg.seed = seed;
+    return workload::synthesize_trace(cfg);
+  };
+  run_comparison("Fig. 11a: industrial trace replay", env, trace_sampler,
+                 "fig11a_trace", "paper: 32% lower");
+
+  // (b) TPC-H with memory requests from (0,1].
+  rl::WorkloadSampler tpch_sampler = [](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<sim::JobSpec> jobs;
+    for (int i = 0; i < 10; ++i) {
+      auto j = workload::sample_tpch_job(rng);
+      workload::assign_memory_requests(j, rng);
+      jobs.push_back(std::move(j));
+    }
+    Rng arr(rng.fork());
+    return workload::continuous(std::move(jobs), arr, 30.0);
+  };
+  run_comparison("Fig. 11b: TPC-H multi-resource", env, tpch_sampler,
+                 "fig11b_tpch_mem", "paper: 43% lower");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 15 (§7.4): training efficiency and decision latency.
+//  (a) learning curves for three parallelism-limit encodings: the paper's
+//      scalar-l input, one-output-per-limit ("w/o limit input"), and
+//      stage-level granularity — the scalar-input design trains fastest.
+//  (b) CDF of Decima's scheduling delay vs the interval between scheduling
+//      events (paper: ~15ms decisions vs seconds-scale event intervals).
+#include "bench_common.h"
+
+using namespace decima;
+
+int main() {
+  bench::print_header(
+      "Figure 15 (§7.4)",
+      "(a) learning curves per parallelism-limit encoding; (b) scheduling\n"
+      "delay vs scheduling-event interval CDFs.");
+
+  sim::EnvConfig env;
+  env.num_executors = 10;
+  const auto sampler = bench::tpch_batch_sampler(8);
+  const auto eval_workloads = [&] {
+    std::vector<std::vector<workload::ArrivingJob>> w;
+    for (int i = 0; i < 4; ++i) w.push_back(sampler(91000 + static_cast<std::uint64_t>(i)));
+    return w;
+  }();
+
+  // ---------------- (a) learning curves -------------------------------------
+  const int iters = bench::train_iters(50);
+  const int snapshot_every = std::max(1, iters / 10);
+  struct Curve {
+    std::string label;
+    std::vector<double> jct;
+  };
+  std::vector<Curve> curves;
+  for (auto [label, encoding] :
+       std::vector<std::pair<std::string, core::LimitEncoding>>{
+           {"job-level, limit input (Decima)",
+            core::LimitEncoding::kScalarInput},
+           {"w/o limit input (per-limit outputs)",
+            core::LimitEncoding::kSeparateOutputs},
+           {"stage-level granularity", core::LimitEncoding::kStageLevel}}) {
+    core::AgentConfig ac;
+    ac.seed = 37;
+    ac.limit_encoding = encoding;
+    core::DecimaAgent agent(ac);
+    rl::TrainConfig train;
+    train.episodes_per_iter = 8;
+    train.num_threads = 8;
+    train.curriculum = false;
+    train.differential_reward = false;
+    train.env = env;
+    train.sampler = sampler;
+    rl::ReinforceTrainer trainer(agent, train);
+    Curve c{label, {}};
+    for (int i = 0; i < iters; ++i) {
+      trainer.iterate();
+      if (i % snapshot_every == 0 || i == iters - 1) {
+        agent.set_mode(core::Mode::kGreedy);
+        c.jct.push_back(rl::evaluate_avg_jct(agent, env, eval_workloads));
+      }
+    }
+    std::cout << "[fig15a] " << label << " ("
+              << agent.num_parameters() << " params) final JCT "
+              << fmt(c.jct.back(), 1) << "s\n";
+    curves.push_back(std::move(c));
+  }
+  Table ta({"snapshot", curves[0].label, curves[1].label, curves[2].label});
+  for (std::size_t k = 0; k < curves[0].jct.size(); ++k) {
+    ta.add_row({fmt_int(static_cast<long long>(k * static_cast<std::size_t>(snapshot_every))),
+                fmt(curves[0].jct[k], 1), fmt(curves[1].jct[k], 1),
+                fmt(curves[2].jct[k], 1)});
+  }
+  std::cout << "\n(a) held-out avg JCT during training (lower = better)\n"
+            << ta.to_string();
+
+  // ---------------- (b) scheduling delay -----------------------------------
+  core::AgentConfig ac;
+  ac.seed = 37;
+  core::DecimaAgent agent(ac);
+  agent.set_mode(core::Mode::kGreedy);
+  sim::ClusterEnv cluster(env);
+  workload::load(cluster, bench::tpch_continuous_sampler(30, 40.0)(5));
+  cluster.run(agent);
+  auto lat = cluster.decision_latencies();
+  auto intervals = cluster.event_intervals();
+  std::vector<double> lat_ms;
+  for (double s : lat) lat_ms.push_back(s * 1e3);
+  std::vector<double> iv_ms;
+  for (double s : intervals) iv_ms.push_back(s * 1e3);
+
+  Table tb({"percentile", "decision latency [ms]", "event interval [ms]"});
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    tb.add_row({fmt(p, 0), fmt(percentile(lat_ms, p), 3),
+                fmt(percentile(iv_ms, p), 1)});
+  }
+  std::cout << "\n(b) scheduling delay vs event interval ("
+            << lat_ms.size() << " decisions)\n"
+            << tb.to_string();
+  std::cout << "\npaper: decisions <15ms, event intervals ~seconds — the\n"
+               "policy's inference latency is negligible. Our simulated\n"
+               "event intervals are simulated time; the latency column is\n"
+               "real wall-clock inference cost of the C++ model.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 16 (Appendix A): the dependency-aware scheduling example.
+//
+// A DAG where two branches converge in a join:
+//   B = (1 task, 10s)              (left, 10 task-seconds)
+//   C = (40 tasks, 1s) -> D = (5 tasks, 10s)   (right, 90 task-seconds)
+//   E = join (5 tasks, eps), parents B and D.
+// A critical-path heuristic commits all 5 task slots to the heavier right
+// branch first and only then runs B: makespan 8 + 10 + 10 + eps = 28 + eps.
+// The optimal schedule runs B on one slot in parallel with C on four (both
+// finish at t=10), then D, then E: 20 + eps — ~29% faster.
+#include "bench_common.h"
+
+using namespace decima;
+
+namespace {
+
+constexpr double kEps = 0.05;
+
+sim::JobSpec appendix_a_dag() {
+  sim::JobBuilder b("appendix-a");
+  const int stage_b = b.stage(1, 10.0);        // 0: left branch
+  const int stage_c = b.stage(40, 1.0);        // 1: right branch, wide
+  const int stage_d = b.stage(5, 10.0, {stage_c});  // 2: right branch, heavy
+  b.stage(5, kEps, {stage_b, stage_d});        // 3: join
+  return b.build();
+}
+
+// The paper's strawman: strictly work on the runnable stage with the highest
+// critical-path value, one stage at a time (no overlap across branches).
+struct BranchCommittedCp : sim::Scheduler {
+  sim::Action schedule(const sim::ClusterEnv& env) override {
+    const auto& job = env.jobs()[0];
+    for (const auto& st : job.stages) {
+      if (st.running > 0) return sim::Action::none();  // committed
+    }
+    const auto node = sched::critical_path_stage(env, 0);
+    if (!node.valid()) return sim::Action::none();
+    sim::Action a;
+    a.node = node;
+    a.limit = env.total_executors();
+    return a;
+  }
+  std::string name() const override { return "branch-committed CP"; }
+};
+
+// Plan-ahead oracle: stage order B, C, D, E; work-conserving.
+struct PlanAhead : sim::Scheduler {
+  sim::Action schedule(const sim::ClusterEnv& env) override {
+    const auto nodes = env.runnable_nodes();
+    if (nodes.empty()) return sim::Action::none();
+    for (int want : {0, 1, 2, 3}) {
+      for (const auto& n : nodes) {
+        if (n.stage == want) {
+          sim::Action a;
+          a.node = n;
+          a.limit = env.total_executors();
+          return a;
+        }
+      }
+    }
+    return sim::Action::none();
+  }
+  std::string name() const override { return "optimal plan-ahead"; }
+};
+
+double run_with(sim::Scheduler& sched) {
+  sim::EnvConfig c;
+  c.num_executors = 5;
+  c.enable_moving_delay = false;
+  c.enable_wave_effect = false;
+  c.enable_inflation = false;
+  sim::ClusterEnv env(c);
+  env.add_job(appendix_a_dag(), 0.0);
+  env.run(sched);
+  return env.makespan();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 16 (Appendix A)",
+      "Dependency-aware scheduling example: the optimal schedule overlaps\n"
+      "the light branch with the heavy one so the join never blocks\n"
+      "(paper: 28+3eps vs 20+3eps, ~29% faster).");
+
+  BranchCommittedCp cp;
+  PlanAhead oracle;
+  const double t_cp = run_with(cp);
+  const double t_opt = run_with(oracle);
+
+  Table t({"schedule", "makespan [s]", "paper [s]"});
+  t.add_row({"critical-path first", fmt(t_cp, 2), "~28"});
+  t.add_row({"optimal plan-ahead", fmt(t_opt, 2), "~20"});
+  std::cout << t.to_string();
+  std::cout << "\nplan-ahead speedup: " << fmt_pct((t_cp - t_opt) / t_cp)
+            << " (paper: ~29%)\n";
+  return 0;
+}

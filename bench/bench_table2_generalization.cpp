@@ -1,0 +1,107 @@
+// Table 2 (§7.4): generalization to changing workloads. Policies trained on
+// different interarrival-time (IAT) distributions are tested on a 45s-IAT
+// workload:
+//   - trained on the test IAT (45s): best,
+//   - trained anti-skewed (75s): underperforms the tuned heuristic,
+//   - trained on mixed IATs (42-75s): robust,
+//   - trained on mixed IATs with the IAT observable as a feature: best
+//     generalization (paper: 16% better than the heuristic).
+#include "bench_common.h"
+
+using namespace decima;
+
+int main() {
+  bench::print_header(
+      "Table 2 (§7.4)",
+      "Generalization across job interarrival times; test workload has a\n"
+      "45s mean IAT. Paper: 65.4 / 104.8 / 82.3 / 76.6 s vs heuristic 91.2 s.");
+
+  sim::EnvConfig env;
+  env.num_executors = 10;
+  const int jobs_per_episode = 18;
+  const double test_iat = 45.0;
+
+  auto sampler_fixed = [&](double iat) {
+    return bench::tpch_continuous_sampler(jobs_per_episode, iat);
+  };
+  // Mixed-IAT sampler: each episode draws an IAT uniformly from [42, 75].
+  rl::WorkloadSampler sampler_mixed = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    const double iat = rng.uniform(42.0, 75.0);
+    auto jobs = workload::sample_tpch_batch(rng, jobs_per_episode);
+    Rng arr(rng.fork());
+    return workload::continuous(std::move(jobs), arr, iat);
+  };
+
+  rl::TrainConfig base;
+  base.episodes_per_iter = 8;
+  base.num_threads = 8;
+  base.curriculum = true;
+  base.tau_mean_init = 400.0;
+  base.tau_mean_max = 2000.0;
+  base.tau_mean_growth = 40.0;
+  base.differential_reward = true;
+  base.env = env;
+
+  const int iters = bench::train_iters(40);
+  struct Row {
+    std::string label;
+    std::unique_ptr<core::DecimaAgent> agent;
+    std::string paper;
+  };
+  std::vector<Row> rows;
+
+  {
+    auto cfg = base;
+    cfg.sampler = sampler_fixed(test_iat);
+    rows.push_back({"Decima, trained on test workload (IAT 45s)",
+                    bench::trained_agent(bench::agent_with_seed(31), cfg,
+                                         "table2_iat45", iters),
+                    "65.4"});
+  }
+  {
+    auto cfg = base;
+    cfg.sampler = sampler_fixed(75.0);
+    rows.push_back({"Decima, trained anti-skewed (IAT 75s)",
+                    bench::trained_agent(bench::agent_with_seed(31), cfg,
+                                         "table2_iat75", iters),
+                    "104.8"});
+  }
+  {
+    auto cfg = base;
+    cfg.sampler = sampler_mixed;
+    rows.push_back({"Decima, trained on mixed workloads",
+                    bench::trained_agent(bench::agent_with_seed(31), cfg,
+                                         "table2_mixed", iters),
+                    "82.3"});
+  }
+  {
+    auto cfg = base;
+    cfg.sampler = sampler_mixed;
+    core::AgentConfig ac;
+    ac.seed = 31;
+    ac.features.iat_hint = true;
+    auto agent = bench::trained_agent(ac, cfg, "table2_mixed_hint", iters);
+    agent->set_observed_iat(test_iat);
+    rows.push_back({"Decima, mixed workloads + IAT hint", std::move(agent),
+                    "76.6"});
+  }
+
+  const int runs = bench::bench_runs(8);
+  sched::WeightedFairScheduler opt(-1.0);
+  const double heuristic =
+      mean_of(bench::eval_runs(opt, env, sampler_fixed(test_iat), runs));
+
+  Table t({"setup", "avg JCT [s]", "paper [s]"});
+  t.add_row({"Opt. weighted fair (best heuristic)", fmt(heuristic, 1), "91.2"});
+  for (auto& r : rows) {
+    const double jct =
+        mean_of(bench::eval_runs(*r.agent, env, sampler_fixed(test_iat), runs));
+    t.add_row({r.label, fmt(jct, 1), r.paper});
+  }
+  std::cout << t.to_string();
+  std::cout << "\npaper shape: test-IAT training best; anti-skewed training\n"
+               "underperforms the heuristic; mixed training recovers; the IAT\n"
+               "hint feature generalizes best among the robust variants.\n";
+  return 0;
+}

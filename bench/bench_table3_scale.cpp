@@ -1,0 +1,85 @@
+// Table 3 (Appendix I): generalization across scale. A policy trained on a
+// scaled-down environment (fewer concurrent jobs / fewer executors) is
+// evaluated on the full test setting. Paper: training with 15x fewer jobs
+// costs ~7% avg JCT; training on a 10x smaller cluster costs ~3%.
+#include "bench_common.h"
+
+using namespace decima;
+
+int main() {
+  bench::print_header(
+      "Table 3 (Appendix I)",
+      "Scale generalization on the industrial-trace workload: policies\n"
+      "trained with fewer jobs or fewer executors, tested on the full\n"
+      "setting. Paper: small degradations (7% / 3%).");
+
+  // Test setting.
+  sim::EnvConfig test_env;
+  test_env.num_executors = 20;
+  const int test_jobs = 30;
+  auto make_sampler = [](int jobs, double iat) {
+    return rl::WorkloadSampler([jobs, iat](std::uint64_t seed) {
+      workload::TraceConfig cfg;
+      cfg.num_jobs = jobs;
+      cfg.mean_iat = iat;
+      cfg.seed = seed;
+      cfg.with_memory = false;
+      return workload::synthesize_trace(cfg);
+    });
+  };
+  const auto test_sampler = make_sampler(test_jobs, 15.0);
+
+  rl::TrainConfig base;
+  base.episodes_per_iter = 8;
+  base.num_threads = 8;
+  base.curriculum = true;
+  base.tau_mean_init = 300.0;
+  base.tau_mean_max = 1500.0;
+  base.tau_mean_growth = 40.0;
+  base.differential_reward = true;
+
+  const int iters = bench::train_iters(30);
+
+  // (1) trained on the test setting.
+  auto cfg1 = base;
+  cfg1.env = test_env;
+  cfg1.sampler = test_sampler;
+  auto full = bench::trained_agent(bench::agent_with_seed(43), cfg1,
+                                   "table3_full", iters);
+
+  // (2) trained with ~5x fewer jobs per episode (same arrival rate scale).
+  auto cfg2 = base;
+  cfg2.env = test_env;
+  cfg2.sampler = make_sampler(test_jobs / 5, 15.0);
+  auto fewer_jobs = bench::trained_agent(bench::agent_with_seed(43), cfg2,
+                                         "table3_fewjobs", iters);
+
+  // (3) trained on a 4x smaller cluster (load kept comparable by slowing
+  // arrivals proportionally).
+  sim::EnvConfig small_env = test_env;
+  small_env.num_executors = test_env.num_executors / 4;
+  auto cfg3 = base;
+  cfg3.env = small_env;
+  cfg3.sampler = make_sampler(test_jobs, 15.0 * 4.0);
+  auto small_cluster = bench::trained_agent(bench::agent_with_seed(43),
+                                            cfg3, "table3_smallcluster",
+                                            iters);
+
+  const int runs = bench::bench_runs(8);
+  Table t({"training scenario", "avg JCT on test setting [s]", "penalty"});
+  const double jct_full =
+      mean_of(bench::eval_runs(*full, test_env, test_sampler, runs));
+  auto row = [&](const std::string& label, core::DecimaAgent& agent) {
+    const double jct =
+        mean_of(bench::eval_runs(agent, test_env, test_sampler, runs));
+    t.add_row({label, fmt(jct, 1),
+               fmt_pct((jct - jct_full) / jct_full)});
+  };
+  t.add_row({"trained on test setting", fmt(jct_full, 1), "-"});
+  row("trained with 5x fewer jobs", *fewer_jobs);
+  row("trained on 4x smaller cluster", *small_cluster);
+  std::cout << t.to_string();
+  std::cout << "\npaper shape: both scaled-down trainings generalize with\n"
+               "single-digit-percent penalties (7% and 3%).\n";
+  return 0;
+}

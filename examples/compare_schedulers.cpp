@@ -1,0 +1,55 @@
+// Runs all seven baseline heuristics (§7.1) on the same batched TPC-H
+// workload and prints a comparison table — the quickest way to see the
+// scheduler zoo in action.
+//
+//   ./examples/compare_schedulers [num_jobs] [num_executors]
+#include <iostream>
+#include <memory>
+
+#include "metrics/experiment.h"
+#include "sched/heuristics.h"
+#include "sched/tuning.h"
+#include "util/table.h"
+#include "workload/tpch.h"
+
+using namespace decima;
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 15;
+  const int num_execs = argc > 2 ? std::atoi(argv[2]) : 25;
+
+  sim::EnvConfig env;
+  env.num_executors = num_execs;
+
+  Rng rng(7);
+  const auto workload =
+      workload::batched(workload::sample_tpch_batch(rng, num_jobs));
+
+  // Tune the weighted-fair alpha on a few independent samples, as §7.1 does.
+  std::vector<std::vector<workload::ArrivingJob>> tune_set;
+  for (int i = 0; i < 3; ++i) {
+    Rng r(100 + static_cast<std::uint64_t>(i));
+    tune_set.push_back(workload::batched(workload::sample_tpch_batch(r, num_jobs)));
+  }
+  const auto tuned = sched::tune_weighted_fair_alpha(
+      env, tune_set, sched::alpha_grid(/*step=*/0.5));
+  std::cout << "tuned weighted-fair alpha = " << fmt(tuned.alpha, 1) << "\n\n";
+
+  sched::FifoScheduler fifo;
+  sched::SjfCpScheduler sjf;
+  sched::WeightedFairScheduler fair(0.0);
+  sched::WeightedFairScheduler naive(1.0);
+  sched::WeightedFairScheduler opt(tuned.alpha);
+  sched::TetrisScheduler tetris;
+  sched::GrapheneScheduler graphene;
+
+  Table table({"scheduler", "avg JCT [s]", "makespan [s]", "completed"});
+  for (sim::Scheduler* s : std::vector<sim::Scheduler*>{
+           &fifo, &sjf, &fair, &naive, &opt, &tetris, &graphene}) {
+    const auto r = metrics::run_episode(env, workload, *s);
+    table.add_row({s->name(), fmt(r.avg_jct, 1), fmt(r.makespan, 1),
+                   fmt_int(r.jobs_completed)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}

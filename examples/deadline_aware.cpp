@@ -1,0 +1,76 @@
+// Deadline-aware scheduling (§8 "Other learning objectives"): shaping the
+// reward with a hard per-job deadline penalty steers Decima toward a policy
+// that trades a little average JCT for far fewer deadline misses.
+//
+//   ./examples/deadline_aware [train_iters] [slack]
+#include <iostream>
+
+#include "metrics/experiment.h"
+#include "rl/reinforce.h"
+#include "sched/heuristics.h"
+#include "util/table.h"
+#include "workload/tpch.h"
+
+using namespace decima;
+
+int main(int argc, char** argv) {
+  const int train_iters = argc > 1 ? std::atoi(argv[1]) : 60;
+  const double slack = argc > 2 ? std::atof(argv[2]) : 10.0;
+
+  sim::EnvConfig env;
+  env.num_executors = 10;
+  rl::WorkloadSampler sampler = [](std::uint64_t seed) {
+    Rng rng(seed);
+    return workload::batched(workload::sample_tpch_batch(rng, 8));
+  };
+
+  rl::DeadlineConfig deadline;
+  deadline.slack = slack;
+  deadline.miss_penalty = 200.0;
+
+  auto train_policy = [&](rl::Objective objective) {
+    core::AgentConfig ac;
+    ac.seed = 11;
+    auto agent = std::make_unique<core::DecimaAgent>(ac);
+    rl::TrainConfig train;
+    train.num_iterations = train_iters;
+    train.episodes_per_iter = 8;
+    train.num_threads = 8;
+    train.curriculum = false;
+    train.differential_reward = false;
+    train.objective = objective;
+    train.deadline = deadline;
+    train.env = env;
+    train.sampler = sampler;
+    rl::ReinforceTrainer(*agent, train).train();
+    agent->set_mode(core::Mode::kGreedy);
+    return agent;
+  };
+
+  std::cout << "Training JCT-objective and deadline-objective policies ("
+            << train_iters << " iterations each, slack " << slack << ")...\n";
+  auto jct_policy = train_policy(rl::Objective::kAvgJct);
+  auto deadline_policy = train_policy(rl::Objective::kDeadline);
+  sched::WeightedFairScheduler fair(0.0);
+
+  Table t({"policy", "avg JCT [s]", "deadline hit rate"});
+  for (auto& [label, sched] :
+       std::vector<std::pair<std::string, sim::Scheduler*>>{
+           {"Fair", &fair},
+           {"Decima (avg JCT objective)", jct_policy.get()},
+           {"Decima (deadline objective)", deadline_policy.get()}}) {
+    RunningStats jct, hits;
+    for (int r = 0; r < 10; ++r) {
+      sim::ClusterEnv cluster(env);
+      workload::load(cluster, sampler(5000 + static_cast<std::uint64_t>(r)));
+      cluster.run(*sched);
+      jct.add(cluster.avg_jct());
+      hits.add(rl::deadline_hit_rate(cluster, deadline));
+    }
+    t.add_row({label, fmt(jct.mean(), 1), fmt_pct(hits.mean())});
+  }
+  std::cout << "\n" << t.to_string()
+            << "\nThe deadline-shaped reward should push the hit rate up,\n"
+               "possibly at a small cost in average JCT.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Industrial-trace replay (§7.3 substrate): synthesizes an Alibaba-like
+// trace (20k-job scale, scaled down by default), replays a window of it
+// against the heuristic schedulers, and prints summary + busy-period stats.
+//
+//   ./examples/trace_replay [num_jobs] [num_executors]
+#include <iostream>
+
+#include "metrics/experiment.h"
+#include "metrics/timeseries.h"
+#include "sched/heuristics.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/trace.h"
+
+using namespace decima;
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 300;
+  const int num_execs = argc > 2 ? std::atoi(argv[2]) : 40;
+
+  workload::TraceConfig trace_config;
+  trace_config.num_jobs = num_jobs;
+  trace_config.mean_iat = 8.0;
+  trace_config.seed = 2018;
+  const auto trace = workload::synthesize_trace(trace_config);
+  const auto stats = workload::trace_stats(trace);
+  std::cout << "trace: " << trace.size() << " jobs, "
+            << fmt_pct(stats.frac_ge4_stages) << " with >=4 stages, largest "
+            << stats.max_stages << " stages\n\n";
+
+  sim::EnvConfig env;
+  env.num_executors = num_execs;
+  env.classes = {{0.25, "s"}, {0.5, "m"}, {0.75, "l"}, {1.0, "xl"}};
+
+  sched::WeightedFairScheduler opt(-1.0);
+  sched::TetrisScheduler tetris;
+  sched::GrapheneScheduler graphene;
+
+  Table table({"scheduler", "avg JCT [s]", "makespan [s]", "peak concurrent"});
+  for (sim::Scheduler* s :
+       std::vector<sim::Scheduler*>{&opt, &tetris, &graphene}) {
+    sim::ClusterEnv cluster(env);
+    workload::load(cluster, trace);
+    cluster.run(*s);
+    const auto series = metrics::concurrent_jobs_series(cluster, 10.0);
+    double peak = 0.0;
+    for (double v : series) peak = std::max(peak, v);
+    table.add_row({s->name(), fmt(cluster.avg_jct(), 1),
+                   fmt(cluster.makespan(), 1), fmt(peak, 0)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,314 @@
+#include "core/agent.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace decima::core {
+
+namespace {
+// Sizing hint for the per-limit-output ablation head (Fig. 15a): one output
+// per possible limit value up to this many executors.
+constexpr std::size_t kMaxSeparateLimitOutputs = 128;
+}  // namespace
+
+DecimaAgent::DecimaAgent(const AgentConfig& config)
+    : config_(config),
+      init_rng_(config.seed),
+      sample_rng_(config.seed ^ 0x9e3779b9ULL),
+      gnn_(
+          [&] {
+            gnn::GnnConfig g;
+            g.feat_dim = config.features.dim();
+            g.emb_dim = config.emb_dim;
+            g.two_level_aggregation = config.two_level_aggregation;
+            return g;
+          }(),
+          init_rng_),
+      q_("policy/q",
+         static_cast<std::size_t>(config.features.dim() + 3 * config.emb_dim),
+         1),
+      w_("policy/w",
+         config.limit_encoding == LimitEncoding::kStageLevel
+             ? static_cast<std::size_t>(3 * config.emb_dim + 1)
+             : static_cast<std::size_t>(2 * config.emb_dim + 1),
+         1),
+      w_sep_("policy/w_sep", static_cast<std::size_t>(2 * config.emb_dim),
+             kMaxSeparateLimitOutputs),
+      class_head_("policy/class",
+                  static_cast<std::size_t>(2 * config.emb_dim + 2), 1) {
+  q_.init(init_rng_);
+  w_.init(init_rng_);
+  w_sep_.init(init_rng_);
+  class_head_.init(init_rng_);
+  params_ = gnn_.param_set();
+  params_.add(q_.params());
+  if (config_.parallelism_control) {
+    if (config_.limit_encoding == LimitEncoding::kSeparateOutputs) {
+      params_.add(w_sep_.params());
+    } else {
+      params_.add(w_.params());
+    }
+  }
+  if (config_.multi_resource) params_.add(class_head_.params());
+}
+
+void DecimaAgent::start_recording() {
+  recording_ = true;
+  recorded_.clear();
+}
+
+std::vector<RecordedAction> DecimaAgent::take_recorded() {
+  recording_ = false;
+  return std::move(recorded_);
+}
+
+void DecimaAgent::start_replay(std::vector<RecordedAction> actions,
+                               std::vector<double> weights,
+                               double entropy_weight) {
+  replay_actions_ = std::move(actions);
+  replay_weights_ = std::move(weights);
+  entropy_weight_ = entropy_weight;
+  replay_cursor_ = 0;
+  mode_ = Mode::kReplay;
+}
+
+int DecimaAgent::pick(const std::vector<double>& probs, int recorded_choice) {
+  switch (mode_) {
+    case Mode::kGreedy: {
+      int best = 0;
+      for (std::size_t i = 1; i < probs.size(); ++i) {
+        if (probs[i] > probs[static_cast<std::size_t>(best)]) {
+          best = static_cast<int>(i);
+        }
+      }
+      return best;
+    }
+    case Mode::kSample:
+      return static_cast<int>(sample_rng_.weighted_index(probs));
+    case Mode::kReplay:
+      return recorded_choice;
+  }
+  return 0;
+}
+
+sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
+  const RecordedAction* replayed = nullptr;
+  if (mode_ == Mode::kReplay) {
+    if (replay_cursor_ >= replay_actions_.size()) return sim::Action::none();
+    replayed = &replay_actions_[replay_cursor_];
+  }
+
+  const auto graphs =
+      gnn::extract_graphs(env, config_.features, observed_iat_);
+  if (graphs.empty()) return sim::Action::none();
+
+  const int total_execs = env.total_executors();
+  const auto& classes = env.executor_classes();
+  const bool multi_class = config_.multi_resource && classes.size() > 1;
+
+  // Valid-class memoization per (graph, node) candidate.
+  auto valid_classes = [&](double mem_req) {
+    std::vector<int> out;
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      if (classes[c].mem + 1e-12 < mem_req) continue;
+      if (env.free_executor_count_of_class(static_cast<int>(c)) == 0) continue;
+      out.push_back(static_cast<int>(c));
+    }
+    return out;
+  };
+
+  // Candidate set A_t: runnable nodes of jobs that can still take executors
+  // and (multi-resource) have at least one fitting class with free capacity.
+  std::vector<Candidate> candidates;
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    const auto& job = env.jobs()[static_cast<std::size_t>(graphs[g].env_job)];
+    if (job.executors >= total_execs) continue;
+    for (std::size_t v = 0; v < graphs[g].runnable.size(); ++v) {
+      if (!graphs[g].runnable[v]) continue;
+      const double req = job.spec.stages[v].mem_req;
+      if (multi_class && valid_classes(req).empty()) continue;
+      if (!multi_class && classes.size() == 1 && classes[0].mem + 1e-12 < req) {
+        continue;
+      }
+      candidates.push_back(Candidate{
+          static_cast<int>(g), static_cast<int>(v),
+          sim::NodeRef{graphs[g].env_job, static_cast<int>(v)}});
+    }
+  }
+  if (candidates.empty()) return sim::Action::none();
+
+  const bool train = mode_ == Mode::kReplay;
+  nn::Tape tape(/*track_gradients=*/train);
+
+  // Embeddings (or zero stand-ins for the no-GNN ablation).
+  std::optional<gnn::Embeddings> emb;
+  nn::Var zero_emb = tape.constant(
+      nn::Matrix(1, static_cast<std::size_t>(config_.emb_dim)));
+  if (config_.use_gnn) emb = gnn_.embed(tape, graphs);
+  auto node_emb = [&](int g, int v) {
+    return config_.use_gnn
+               ? (*emb).node_emb[static_cast<std::size_t>(g)][static_cast<std::size_t>(v)]
+               : zero_emb;
+  };
+  auto job_emb = [&](int g) {
+    return config_.use_gnn ? (*emb).job_emb[static_cast<std::size_t>(g)] : zero_emb;
+  };
+  nn::Var glob = config_.use_gnn ? (*emb).global_emb : zero_emb;
+
+  // Raw feature rows (the q function sees x_v alongside the embeddings, so
+  // the no-GNN ablation still has the raw signal).
+  std::vector<nn::Var> feature_rows(graphs.size());
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    feature_rows[g] = tape.constant(graphs[g].features);
+  }
+
+  // --- Stage selection: softmax over q(x_v, e_v, y_i, z) -------------------
+  std::vector<nn::Var> node_scores;
+  node_scores.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    const nn::Var x =
+        tape.row(feature_rows[static_cast<std::size_t>(c.graph)],
+                 static_cast<std::size_t>(c.node));
+    const nn::Var in =
+        tape.concat_cols({x, node_emb(c.graph, c.node), job_emb(c.graph), glob});
+    node_scores.push_back(q_.apply(tape, in));
+  }
+  const nn::Var node_logits = tape.concat_scalars(node_scores);
+  const std::vector<double> node_probs = tape.softmax_values(node_logits);
+  const int node_choice =
+      pick(node_probs, replayed ? replayed->node_choice : 0);
+  const Candidate& chosen = candidates[static_cast<std::size_t>(node_choice)];
+  const auto& chosen_job =
+      env.jobs()[static_cast<std::size_t>(chosen.ref.job)];
+
+  // --- Parallelism limit: softmax over w(y_i, z, l), l > current allocation
+  int limit = total_execs;
+  int limit_choice = -1;
+  std::vector<int> limit_values;
+  nn::Var limit_logits;
+  if (config_.parallelism_control) {
+    for (int l = chosen_job.executors + 1; l <= total_execs;
+         l += config_.limit_step) {
+      limit_values.push_back(l);
+    }
+    assert(!limit_values.empty());
+    if (config_.limit_encoding == LimitEncoding::kSeparateOutputs) {
+      const nn::Var in = tape.concat_cols({job_emb(chosen.graph), glob});
+      const nn::Var all = w_sep_.apply(tape, in);
+      std::vector<nn::Var> scores;
+      scores.reserve(limit_values.size());
+      for (int l : limit_values) {
+        const std::size_t idx = std::min<std::size_t>(
+            static_cast<std::size_t>(l - 1), kMaxSeparateLimitOutputs - 1);
+        scores.push_back(tape.element(all, 0, idx));
+      }
+      limit_logits = tape.concat_scalars(scores);
+    } else {
+      std::vector<nn::Var> scores;
+      scores.reserve(limit_values.size());
+      for (int l : limit_values) {
+        nn::Matrix lfeat(1, 1);
+        lfeat(0, 0) = static_cast<double>(l) / static_cast<double>(total_execs);
+        const nn::Var lvar = tape.constant(std::move(lfeat));
+        std::vector<nn::Var> parts;
+        if (config_.limit_encoding == LimitEncoding::kStageLevel) {
+          parts = {node_emb(chosen.graph, chosen.node), job_emb(chosen.graph),
+                   glob, lvar};
+        } else {
+          parts = {job_emb(chosen.graph), glob, lvar};
+        }
+        scores.push_back(w_.apply(tape, tape.concat_cols(parts)));
+      }
+      limit_logits = tape.concat_scalars(scores);
+    }
+    const std::vector<double> limit_probs = tape.softmax_values(limit_logits);
+    limit_choice = pick(limit_probs, replayed ? replayed->limit_choice : 0);
+    limit = limit_values[static_cast<std::size_t>(limit_choice)];
+  }
+
+  // --- Executor class (multi-resource, §7.3) --------------------------------
+  int exec_class = -1;
+  int class_choice = -1;
+  std::vector<int> class_values;
+  nn::Var class_logits;
+  if (multi_class) {
+    class_values = valid_classes(
+        chosen_job.spec.stages[static_cast<std::size_t>(chosen.ref.stage)].mem_req);
+    std::vector<nn::Var> scores;
+    scores.reserve(class_values.size());
+    for (int c : class_values) {
+      nn::Matrix cfeat(1, 2);
+      cfeat(0, 0) = classes[static_cast<std::size_t>(c)].mem;
+      cfeat(0, 1) =
+          static_cast<double>(env.free_executor_count_of_class(c)) /
+          static_cast<double>(total_execs);
+      const nn::Var cvar = tape.constant(std::move(cfeat));
+      scores.push_back(class_head_.apply(
+          tape, tape.concat_cols({job_emb(chosen.graph), glob, cvar})));
+    }
+    class_logits = tape.concat_scalars(scores);
+    const std::vector<double> class_probs = tape.softmax_values(class_logits);
+    class_choice = pick(class_probs, replayed ? replayed->class_choice : 0);
+    exec_class = class_values[static_cast<std::size_t>(class_choice)];
+  }
+
+  sim::Action action;
+  action.node = chosen.ref;
+  action.limit = limit;
+  action.exec_class = exec_class;
+
+  if (train) {
+    // Accumulate −A_k ∇log π − β ∇H into the parameter gradients.
+    const double weight = replay_weights_[replay_cursor_];
+    std::vector<nn::Var> logps;
+    logps.push_back(
+        tape.log_prob_pick(node_logits, static_cast<std::size_t>(node_choice)));
+    if (config_.parallelism_control && limit_choice >= 0 &&
+        limit_values.size() > 1) {
+      logps.push_back(tape.log_prob_pick(
+          limit_logits, static_cast<std::size_t>(limit_choice)));
+    }
+    if (multi_class && class_values.size() > 1) {
+      logps.push_back(tape.log_prob_pick(
+          class_logits, static_cast<std::size_t>(class_choice)));
+    }
+    nn::Var loss = tape.scale(tape.addn(logps), -weight);
+    if (entropy_weight_ > 0.0 && candidates.size() > 1) {
+      loss = tape.add(
+          loss, tape.scale(tape.entropy(node_logits), -entropy_weight_));
+    }
+    tape.backward(loss);
+    ++replay_cursor_;
+    // Return the recorded action verbatim so the replayed episode evolves
+    // exactly like the rollout.
+    return replayed->action;
+  }
+
+  if (recording_ && mode_ == Mode::kSample) {
+    RecordedAction rec;
+    rec.node_choice = node_choice;
+    rec.limit_choice = limit_choice;
+    rec.class_choice = class_choice;
+    rec.action = action;
+    recorded_.push_back(rec);
+  }
+  return action;
+}
+
+std::unique_ptr<DecimaAgent> DecimaAgent::clone() const {
+  auto copy = std::make_unique<DecimaAgent>(config_);
+  copy->params_.copy_values_from(params_);
+  copy->observed_iat_ = observed_iat_;
+  return copy;
+}
+
+bool DecimaAgent::save(const std::string& path) const {
+  return nn::save_params(const_cast<DecimaAgent*>(this)->params_, path);
+}
+
+bool DecimaAgent::load(const std::string& path) {
+  return nn::load_params(params_, path);
+}
+
+}  // namespace decima::core

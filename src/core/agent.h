@@ -1,0 +1,121 @@
+// The Decima scheduling agent (§5.2): graph neural network + policy network.
+//
+// On every invocation the agent embeds the current cluster state, scores all
+// schedulable nodes with q(e_v, y_i, z), softmax-samples a stage, then scores
+// parallelism limits with w(y_i, z, l) and softmax-samples a limit for the
+// chosen stage's job (plus an executor class in multi-resource mode). All of
+// it is differentiable, so ∇_θ log π_θ(s, a) is available for REINFORCE.
+//
+// Ablation switches reproduce the variants of Fig. 14 / Fig. 15a / App. J:
+//   use_gnn = false            -> raw features only ("w/o graph embedding")
+//   parallelism_control = false-> always grab every executor
+//   limit_encoding             -> scalar-l input (paper), one-output-per-limit
+//                                 ("w/o limit input"), or stage-level limits
+//   features.use_task_duration -> incomplete-information study
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "gnn/graph_embedding.h"
+#include "nn/adam.h"
+#include "sim/scheduler.h"
+
+namespace decima::core {
+
+enum class LimitEncoding {
+  kScalarInput,      // w(y, z, l) with l as an input — the paper's design
+  kSeparateOutputs,  // one output head per limit value (Fig. 15a yellow)
+  kStageLevel,       // limit conditioned on e_v too (Fig. 15a green)
+};
+
+struct AgentConfig {
+  gnn::FeatureConfig features;
+  int emb_dim = 8;
+  bool use_gnn = true;
+  bool two_level_aggregation = true;
+  bool parallelism_control = true;
+  LimitEncoding limit_encoding = LimitEncoding::kScalarInput;
+  bool multi_resource = false;  // adds the executor-class head (§7.3)
+  // Limits are discretized in steps of this size to keep the limit softmax
+  // small on big clusters (1 = every integer limit).
+  int limit_step = 1;
+  std::uint64_t seed = 42;
+};
+
+enum class Mode { kGreedy, kSample, kReplay };
+
+// The sampled indices of one action — enough to replay it deterministically.
+struct RecordedAction {
+  int node_choice = 0;
+  int limit_choice = -1;  // -1 when parallelism control is off
+  int class_choice = -1;  // -1 in single-resource mode
+  sim::Action action;     // the concrete action handed to the environment
+};
+
+class DecimaAgent : public sim::Scheduler {
+ public:
+  explicit DecimaAgent(const AgentConfig& config);
+
+  sim::Action schedule(const sim::ClusterEnv& env) override;
+  std::string name() const override { return "Decima"; }
+
+  // --- Modes ----------------------------------------------------------------
+  void set_mode(Mode m) { mode_ = m; }
+  Mode mode() const { return mode_; }
+  void set_sample_seed(std::uint64_t seed) { sample_rng_ = Rng(seed); }
+
+  // Rollout recording (kSample): collects the action sequence of an episode.
+  void start_recording();
+  std::vector<RecordedAction> take_recorded();
+
+  // Replay (kReplay): re-executes `actions` while accumulating
+  // −Σ_k weight_k · ∇ log π(s_k, a_k) − β · ∇ H(π(s_k)) into the parameter
+  // gradients (a *descent* direction for Adam; weights are the advantages).
+  void start_replay(std::vector<RecordedAction> actions,
+                    std::vector<double> weights, double entropy_weight);
+  // Number of replay actions consumed so far.
+  std::size_t replay_cursor() const { return replay_cursor_; }
+
+  // --- Parameters ---------------------------------------------------------------
+  nn::ParamSet& params() { return params_; }
+  const AgentConfig& config() const { return config_; }
+  std::size_t num_parameters() const { return params_.num_parameters(); }
+  std::unique_ptr<DecimaAgent> clone() const;
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+
+  // Table 2: the observed mean interarrival time, fed as a feature when
+  // features.iat_hint is on.
+  void set_observed_iat(double iat) { observed_iat_ = iat; }
+
+ private:
+  struct Candidate {
+    int graph = 0;  // index into the extracted graphs
+    int node = 0;   // stage index within the graph/job
+    sim::NodeRef ref;
+  };
+
+  int pick(const std::vector<double>& probs, int recorded_choice);
+
+  AgentConfig config_;
+  Rng init_rng_;
+  Rng sample_rng_;
+  gnn::GraphEmbedding gnn_;
+  nn::Mlp q_;          // node score
+  nn::Mlp w_;          // parallelism score (scalar-l input / stage-level)
+  nn::Mlp w_sep_;      // per-limit outputs variant
+  nn::Mlp class_head_; // executor-class score
+  nn::ParamSet params_;
+
+  Mode mode_ = Mode::kGreedy;
+  bool recording_ = false;
+  std::vector<RecordedAction> recorded_;
+  std::vector<RecordedAction> replay_actions_;
+  std::vector<double> replay_weights_;
+  double entropy_weight_ = 0.0;
+  std::size_t replay_cursor_ = 0;
+  double observed_iat_ = 0.0;
+};
+
+}  // namespace decima::core

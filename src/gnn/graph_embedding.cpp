@@ -1,0 +1,116 @@
+#include "gnn/graph_embedding.h"
+
+#include <cassert>
+
+namespace decima::gnn {
+
+GraphEmbedding::GraphEmbedding(const GnnConfig& config, decima::Rng& rng)
+    : config_(config),
+      proj_("gnn/proj", static_cast<std::size_t>(config.feat_dim),
+            static_cast<std::size_t>(config.emb_dim), {16}),
+      f_node_("gnn/f_node", static_cast<std::size_t>(config.emb_dim),
+              static_cast<std::size_t>(config.emb_dim), config.hidden),
+      g_node_("gnn/g_node", static_cast<std::size_t>(config.emb_dim),
+              static_cast<std::size_t>(config.emb_dim), config.hidden),
+      f_job_("gnn/f_job", static_cast<std::size_t>(2 * config.emb_dim),
+             static_cast<std::size_t>(config.emb_dim), config.hidden),
+      g_job_("gnn/g_job", static_cast<std::size_t>(config.emb_dim),
+             static_cast<std::size_t>(config.emb_dim), config.hidden),
+      f_glob_("gnn/f_glob", static_cast<std::size_t>(config.emb_dim),
+              static_cast<std::size_t>(config.emb_dim), config.hidden),
+      g_glob_("gnn/g_glob", static_cast<std::size_t>(config.emb_dim),
+              static_cast<std::size_t>(config.emb_dim), config.hidden) {
+  proj_.init(rng);
+  f_node_.init(rng);
+  g_node_.init(rng);
+  f_job_.init(rng);
+  g_job_.init(rng);
+  f_glob_.init(rng);
+  g_glob_.init(rng);
+}
+
+std::vector<nn::Var> GraphEmbedding::embed_nodes(
+    nn::Tape& tape, const JobGraph& graph,
+    std::vector<nn::Var>* proj_out) const {
+  const std::size_t n = graph.features.rows();
+  const nn::Var x = tape.constant(graph.features);
+  std::vector<nn::Var> proj(n), emb(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    proj[v] = proj_.apply(tape, tape.row(x, v));
+  }
+  // Reverse topological sweep: every node's children are embedded before the
+  // node itself, which realizes the leaves-to-roots message passing of
+  // Fig. 5a in a single pass.
+  for (auto it = graph.topo.rbegin(); it != graph.topo.rend(); ++it) {
+    const std::size_t v = static_cast<std::size_t>(*it);
+    const auto& kids = graph.children[v];
+    if (kids.empty()) {
+      emb[v] = proj[v];
+      continue;
+    }
+    std::vector<nn::Var> messages;
+    messages.reserve(kids.size());
+    for (int u : kids) {
+      messages.push_back(f_node_.apply(tape, emb[static_cast<std::size_t>(u)]));
+    }
+    nn::Var agg = tape.addn(messages);
+    if (config_.two_level_aggregation) agg = g_node_.apply(tape, agg);
+    emb[v] = tape.add(agg, proj[v]);
+  }
+  if (proj_out) *proj_out = std::move(proj);
+  return emb;
+}
+
+Embeddings GraphEmbedding::embed(nn::Tape& tape,
+                                 const std::vector<JobGraph>& graphs) const {
+  Embeddings out;
+  out.node_emb.reserve(graphs.size());
+  out.proj.reserve(graphs.size());
+  out.job_emb.reserve(graphs.size());
+
+  for (const JobGraph& g : graphs) {
+    std::vector<nn::Var> proj;
+    out.node_emb.push_back(embed_nodes(tape, g, &proj));
+    out.proj.push_back(std::move(proj));
+
+    // Per-job summary: the DAG-level summary node takes every node of the
+    // DAG as a child (Fig. 5b squares); its inputs are [proj(x_v), e_v].
+    std::vector<nn::Var> messages;
+    messages.reserve(out.node_emb.back().size());
+    for (std::size_t v = 0; v < out.node_emb.back().size(); ++v) {
+      const nn::Var joined =
+          tape.concat_cols({out.proj.back()[v], out.node_emb.back()[v]});
+      messages.push_back(f_job_.apply(tape, joined));
+    }
+    nn::Var agg = tape.addn(messages);
+    if (config_.two_level_aggregation) agg = g_job_.apply(tape, agg);
+    out.job_emb.push_back(agg);
+  }
+
+  // Global summary: the cluster-level node takes every DAG summary as a
+  // child (Fig. 5b triangle).
+  std::vector<nn::Var> messages;
+  messages.reserve(out.job_emb.size());
+  for (const nn::Var& y : out.job_emb) {
+    messages.push_back(f_glob_.apply(tape, y));
+  }
+  assert(!messages.empty());
+  nn::Var agg = tape.addn(messages);
+  if (config_.two_level_aggregation) agg = g_glob_.apply(tape, agg);
+  out.global_emb = agg;
+  return out;
+}
+
+nn::ParamSet GraphEmbedding::param_set() {
+  nn::ParamSet set;
+  set.add(proj_.params());
+  set.add(f_node_.params());
+  set.add(g_node_.params());
+  set.add(f_job_.params());
+  set.add(g_job_.params());
+  set.add(f_glob_.params());
+  set.add(g_glob_.params());
+  return set;
+}
+
+}  // namespace decima::gnn

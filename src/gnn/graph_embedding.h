@@ -1,0 +1,64 @@
+// The graph neural network of §5.1.
+//
+// Three levels of summarization, each with its own pair of non-linear
+// transforms f and g (six MLPs total, exactly as the paper):
+//   per-node:  e_v = g(Σ_{u ∈ ξ(v)} f(e_u)) + proj(x_v)   (Eq. 1)
+//   per-job:   y_i = g'(Σ_{v ∈ G_i} f'([proj(x_v), e_v]))
+//   global:    z   = g''(Σ_i f''(y_i))
+// Raw features are first lifted to the embedding dimension by a learned
+// projection so the "+ x_v" residual of Eq. 1 is well-typed.
+//
+// The second non-linearity g is what lets the network express max-like
+// aggregations such as a DAG's critical path (Appendix E); the single-level
+// ablation (two_level_aggregation = false, used for Fig. 19) removes it:
+//   e_v = Σ_{u ∈ ξ(v)} f(e_u) + proj(x_v).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gnn/features.h"
+#include "nn/mlp.h"
+
+namespace decima::gnn {
+
+struct GnnConfig {
+  int feat_dim = 5;
+  int emb_dim = 8;
+  bool two_level_aggregation = true;  // false = Fig. 19 ablation
+  std::vector<std::size_t> hidden = {32, 16};  // §6.1's layer sizes
+};
+
+// The embeddings produced for one state observation.
+struct Embeddings {
+  // node_emb[g][v] — per-node embedding e_v for graph g (1 x emb_dim each).
+  std::vector<std::vector<nn::Var>> node_emb;
+  // proj[g][v] — projected node features (inputs to per-job summaries).
+  std::vector<std::vector<nn::Var>> proj;
+  std::vector<nn::Var> job_emb;  // y_i per graph
+  nn::Var global_emb;            // z
+};
+
+class GraphEmbedding {
+ public:
+  explicit GraphEmbedding(const GnnConfig& config, decima::Rng& rng);
+
+  // Builds the full three-level embedding of `graphs` on `tape`.
+  Embeddings embed(nn::Tape& tape, const std::vector<JobGraph>& graphs) const;
+
+  // Per-node embeddings only (used by the supervised expressiveness study).
+  std::vector<nn::Var> embed_nodes(nn::Tape& tape, const JobGraph& graph,
+                                   std::vector<nn::Var>* proj_out = nullptr) const;
+
+  nn::ParamSet param_set();
+  const GnnConfig& config() const { return config_; }
+
+ private:
+  GnnConfig config_;
+  nn::Mlp proj_;    // feat_dim -> emb_dim feature lift
+  nn::Mlp f_node_, g_node_;
+  nn::Mlp f_job_, g_job_;
+  nn::Mlp f_glob_, g_glob_;
+};
+
+}  // namespace decima::gnn

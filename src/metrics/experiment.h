@@ -1,0 +1,33 @@
+// One-stop experiment runner: builds an environment, loads a workload, runs a
+// scheduler, and returns the metrics every bench/test consumes.
+#pragma once
+
+#include <vector>
+
+#include "sim/cluster_env.h"
+#include "sim/scheduler.h"
+#include "workload/arrivals.h"
+
+namespace decima::metrics {
+
+struct RunResult {
+  double avg_jct = 0.0;
+  double makespan = 0.0;
+  int jobs_completed = 0;
+  int jobs_total = 0;
+  std::vector<double> jcts;
+  bool all_done = false;
+};
+
+// Runs one full episode (until all jobs complete or `until` simulated
+// seconds elapse) and summarizes it.
+RunResult run_episode(const sim::EnvConfig& config,
+                      const std::vector<workload::ArrivingJob>& workload,
+                      sim::Scheduler& sched, sim::Time until = sim::kInfTime);
+
+// Same, but also hands back the environment for trace-level analysis.
+RunResult run_episode(sim::ClusterEnv& env,
+                      const std::vector<workload::ArrivingJob>& workload,
+                      sim::Scheduler& sched, sim::Time until = sim::kInfTime);
+
+}  // namespace decima::metrics

@@ -1,0 +1,82 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace decima::metrics {
+
+std::vector<double> concurrent_jobs_series(const sim::ClusterEnv& env,
+                                           double step) {
+  const double end = std::max(env.makespan(), env.now());
+  std::vector<double> out;
+  if (step <= 0.0 || end <= 0.0) return out;
+  const auto& jobs = env.jobs();
+  const int n = static_cast<int>(std::ceil(end / step)) + 1;
+  out.assign(static_cast<std::size_t>(n), 0.0);
+  for (const auto& job : jobs) {
+    if (!job.arrived) continue;
+    const double finish = job.done() ? job.finish : env.now();
+    for (int i = 0; i < n; ++i) {
+      const double t = i * step;
+      if (t >= job.arrival && t < finish) out[static_cast<std::size_t>(i)] += 1.0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> mean_executors_per_job(const sim::ClusterEnv& env) {
+  const auto& jobs = env.jobs();
+  std::vector<double> busy_seconds(jobs.size(), 0.0);
+  for (const auto& t : env.trace()) {
+    busy_seconds[static_cast<std::size_t>(t.job)] += t.end - t.start;
+  }
+  std::vector<double> out(jobs.size(), 0.0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const double jct = jobs[j].done() ? jobs[j].jct() : env.now() - jobs[j].arrival;
+    out[j] = jct > 0 ? busy_seconds[j] / jct : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> executed_work_per_job(const sim::ClusterEnv& env) {
+  std::vector<double> out(env.jobs().size(), 0.0);
+  for (std::size_t j = 0; j < env.jobs().size(); ++j) {
+    out[j] = env.jobs()[j].executed_work;
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> class_usage_per_job(const sim::ClusterEnv& env) {
+  const std::size_t num_classes = env.executor_classes().size();
+  std::vector<std::vector<int>> out(env.jobs().size(),
+                                    std::vector<int>(num_classes, 0));
+  const auto& executors = env.executors();
+  for (const auto& t : env.trace()) {
+    const int cls = executors[static_cast<std::size_t>(t.executor)].cls;
+    out[static_cast<std::size_t>(t.job)][static_cast<std::size_t>(cls)] += 1;
+  }
+  return out;
+}
+
+std::string ascii_gantt(const sim::ClusterEnv& env, int width) {
+  const double end = std::max(env.makespan(), 1e-9);
+  const int rows = env.total_executors();
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(width), '.'));
+  for (const auto& t : env.trace()) {
+    const int c0 = std::clamp(
+        static_cast<int>(t.start / end * width), 0, width - 1);
+    const int c1 = std::clamp(static_cast<int>(t.end / end * width), c0, width - 1);
+    const char sym = static_cast<char>('A' + t.job % 26);
+    for (int c = c0; c <= c1; ++c) {
+      grid[static_cast<std::size_t>(t.executor)][static_cast<std::size_t>(c)] = sym;
+    }
+  }
+  std::ostringstream os;
+  for (const auto& row : grid) os << row << '\n';
+  os << "(time 0.." << end << "s; letters = jobs, '.' = idle)\n";
+  return os.str();
+}
+
+}  // namespace decima::metrics

@@ -1,0 +1,35 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace decima::nn {
+
+Adam::Adam(ParamSet* params, AdamConfig config)
+    : params_(params), config_(config) {
+  for (const Param* p : params_->params()) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  const auto& ps = params_->params();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    auto& value = ps[i]->value.raw();
+    const auto& grad = ps[i]->grad.raw();
+    auto& m = m_[i].raw();
+    auto& v = v_[i].raw();
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      m[j] = config_.beta1 * m[j] + (1.0 - config_.beta1) * grad[j];
+      v[j] = config_.beta2 * v[j] + (1.0 - config_.beta2) * grad[j] * grad[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      value[j] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace decima::nn

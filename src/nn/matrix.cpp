@@ -1,0 +1,83 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+
+namespace decima::nn {
+
+void Matrix::add_in_place(const Matrix& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::axpy(double scale, const Matrix& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+Matrix Matrix::matmul(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    double* o = out.data() + i * rhs.cols_;
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double av = a[k];
+      if (av == 0.0) continue;
+      const double* b = rhs.data() + k * rhs.cols_;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) o[j] += av * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed_matmul(const Matrix& rhs) const {
+  // (cols_ x rows_) * (rows_ x rhs.cols_) -> cols_ x rhs.cols_
+  assert(rows_ == rhs.rows_);
+  Matrix out(cols_, rhs.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    const double* b = rhs.data() + i * rhs.cols();
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double av = a[k];
+      if (av == 0.0) continue;
+      double* o = out.data() + k * rhs.cols();
+      for (std::size_t j = 0; j < rhs.cols(); ++j) o[j] += av * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed(const Matrix& rhs) const {
+  // (rows_ x cols_) * (rhs.cols x rhs.rows)^T requires cols_ == rhs.cols
+  assert(cols_ == rhs.cols());
+  Matrix out(rows_, rhs.rows());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    double* o = out.data() + i * rhs.rows();
+    for (std::size_t j = 0; j < rhs.rows(); ++j) {
+      const double* b = rhs.data() + j * rhs.cols();
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
+      o[j] = acc;
+    }
+  }
+  return out;
+}
+
+double Matrix::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::squared_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+std::string Matrix::shape_str() const {
+  return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+}  // namespace decima::nn

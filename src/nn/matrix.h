@@ -1,0 +1,82 @@
+// A small dense row-major matrix of doubles.
+//
+// This is the numeric workhorse of the from-scratch neural-network substrate
+// (the paper used TensorFlow; Decima's model is ~12.7k parameters, so a
+// straightforward CPU implementation is fully adequate — see DESIGN.md §2).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace decima::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  static Matrix row_vector(std::initializer_list<double> values) {
+    return Matrix(1, values.size(), std::vector<double>(values));
+  }
+  static Matrix row_vector(const std::vector<double>& values) {
+    return Matrix(1, values.size(), values);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0); }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // this += other (shapes must match).
+  void add_in_place(const Matrix& other);
+  // this += scale * other.
+  void axpy(double scale, const Matrix& other);
+
+  // Matrix product: (rows x cols) * (cols x n) -> (rows x n).
+  Matrix matmul(const Matrix& rhs) const;
+  // this^T * rhs, without materializing the transpose.
+  Matrix transposed_matmul(const Matrix& rhs) const;
+  // this * rhs^T.
+  Matrix matmul_transposed(const Matrix& rhs) const;
+
+  double sum() const;
+  double squared_norm() const;
+
+  std::string shape_str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace decima::nn

@@ -1,0 +1,157 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace decima::nn {
+
+Mlp::Mlp(std::string name, std::size_t in_dim, std::size_t out_dim,
+         std::vector<std::size_t> hidden)
+    : name_(std::move(name)), in_dim_(in_dim), out_dim_(out_dim) {
+  std::vector<std::size_t> dims;
+  dims.push_back(in_dim);
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  dims.push_back(out_dim);
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    weights_.push_back(std::make_unique<Param>(
+        name_ + "/W" + std::to_string(l), dims[l], dims[l + 1]));
+    biases_.push_back(std::make_unique<Param>(
+        name_ + "/b" + std::to_string(l), 1, dims[l + 1]));
+  }
+}
+
+Var Mlp::apply(Tape& tape, Var x) const {
+  Var h = x;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    Var w = tape.param(*weights_[l]);
+    Var b = tape.param(*biases_[l]);
+    h = tape.add_bias(tape.matmul(h, w), b);
+    if (l + 1 < weights_.size()) h = tape.leaky_relu(h);
+  }
+  return h;
+}
+
+void Mlp::init(Rng& rng) {
+  for (auto& w : weights_) {
+    const double bound = std::sqrt(6.0 / static_cast<double>(w->value.rows()));
+    for (double& v : w->value.raw()) v = rng.uniform(-bound, bound);
+    w->grad.zero();
+  }
+  for (auto& b : biases_) {
+    b->value.zero();
+    b->grad.zero();
+  }
+}
+
+std::vector<Param*> Mlp::params() {
+  std::vector<Param*> out;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    out.push_back(weights_[l].get());
+    out.push_back(biases_[l].get());
+  }
+  return out;
+}
+
+std::vector<const Param*> Mlp::params() const {
+  std::vector<const Param*> out;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    out.push_back(weights_[l].get());
+    out.push_back(biases_[l].get());
+  }
+  return out;
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& w : weights_) n += w->value.size();
+  for (const auto& b : biases_) n += b->value.size();
+  return n;
+}
+
+std::size_t ParamSet::num_parameters() const {
+  std::size_t n = 0;
+  for (const Param* p : params_) n += p->value.size();
+  return n;
+}
+
+void ParamSet::zero_grads() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+void ParamSet::copy_values_from(const ParamSet& other) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->value = other.params_[i]->value;
+  }
+}
+
+void ParamSet::accumulate_grads_from(const ParamSet& other, double scale) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->grad.axpy(scale, other.params_[i]->grad);
+  }
+}
+
+std::vector<double> ParamSet::flat_grads() const {
+  std::vector<double> out;
+  out.reserve(num_parameters());
+  for (const Param* p : params_) {
+    out.insert(out.end(), p->grad.raw().begin(), p->grad.raw().end());
+  }
+  return out;
+}
+
+void ParamSet::add_flat_to_grads(const std::vector<double>& flat, double scale) {
+  std::size_t offset = 0;
+  for (Param* p : params_) {
+    for (double& g : p->grad.raw()) g += scale * flat[offset++];
+  }
+}
+
+double ParamSet::grad_norm() const {
+  double s = 0.0;
+  for (const Param* p : params_) s += p->grad.squared_norm();
+  return std::sqrt(s);
+}
+
+void ParamSet::clip_grad_norm(double max_norm) {
+  const double norm = grad_norm();
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale = max_norm / norm;
+  for (Param* p : params_) {
+    for (double& g : p->grad.raw()) g *= scale;
+  }
+}
+
+bool save_params(const ParamSet& set, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << "decima-model-v1 " << set.params().size() << "\n";
+  for (const Param* p : set.params()) {
+    out << p->name << ' ' << p->value.rows() << ' ' << p->value.cols() << '\n';
+    for (double v : p->value.raw()) out << v << ' ';
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_params(ParamSet& set, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string magic;
+  std::size_t count = 0;
+  in >> magic >> count;
+  if (magic != "decima-model-v1" || count != set.params().size()) return false;
+  for (Param* p : set.params()) {
+    std::string name;
+    std::size_t rows = 0, cols = 0;
+    in >> name >> rows >> cols;
+    if (name != p->name || rows != p->value.rows() || cols != p->value.cols()) {
+      return false;
+    }
+    for (double& v : p->value.raw()) in >> v;
+  }
+  return static_cast<bool>(in);
+}
+
+}  // namespace decima::nn

@@ -1,0 +1,78 @@
+// Two-hidden-layer perceptron, the reusable building block of Decima.
+//
+// Per §6.1 of the paper: every non-linear transformation (the six GNN
+// transforms f/g at the three summarization levels, and the two policy score
+// functions q and w) is a two-hidden-layer network with 32 and 16 hidden
+// units; the total model is ~12.7k parameters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tape.h"
+#include "util/rng.h"
+
+namespace decima::nn {
+
+class Mlp {
+ public:
+  // hidden defaults to the paper's {32, 16}.
+  Mlp(std::string name, std::size_t in_dim, std::size_t out_dim,
+      std::vector<std::size_t> hidden = {32, 16});
+
+  // Applies the network to `x` (n x in_dim) -> (n x out_dim) on `tape`.
+  // Hidden activations are leaky ReLU; the output layer is linear.
+  Var apply(Tape& tape, Var x) const;
+
+  // Initializes weights (He-style scaled uniform) from `rng`. Biases zero.
+  void init(Rng& rng);
+
+  std::vector<Param*> params();
+  std::vector<const Param*> params() const;
+  std::size_t num_parameters() const;
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  // Owned by unique_ptr so Param addresses stay stable if the Mlp moves.
+  std::vector<std::unique_ptr<Param>> weights_;
+  std::vector<std::unique_ptr<Param>> biases_;
+};
+
+// A named collection of parameters; the unit Adam and (de)serialization
+// operate on. Does not own the parameters.
+class ParamSet {
+ public:
+  void add(Param* p) { params_.push_back(p); }
+  void add(const std::vector<Param*>& ps) {
+    params_.insert(params_.end(), ps.begin(), ps.end());
+  }
+  const std::vector<Param*>& params() const { return params_; }
+  std::size_t num_parameters() const;
+  void zero_grads();
+  // Copies values from another set with identical structure.
+  void copy_values_from(const ParamSet& other);
+  // Accumulates grads from another set (same structure) scaled by `scale`.
+  void accumulate_grads_from(const ParamSet& other, double scale = 1.0);
+  // Flattens all gradients into a single vector (for storage per action).
+  std::vector<double> flat_grads() const;
+  // Adds `scale * flat` into the grads.
+  void add_flat_to_grads(const std::vector<double>& flat, double scale);
+  double grad_norm() const;
+  void clip_grad_norm(double max_norm);
+
+ private:
+  std::vector<Param*> params_;
+};
+
+// Saves/loads a ParamSet to a simple text format. Structure (names, shapes)
+// must match on load. Returns false on mismatch or I/O error.
+bool save_params(const ParamSet& set, const std::string& path);
+bool load_params(ParamSet& set, const std::string& path);
+
+}  // namespace decima::nn

@@ -1,0 +1,309 @@
+#include "nn/tape.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace decima::nn {
+
+int Tape::push(Matrix value, bool needs_grad,
+               std::function<void(Tape&, Node&)> fn) {
+  needs_grad = needs_grad && track_gradients_;
+  Node n;
+  if (needs_grad) {
+    n.grad = Matrix(value.rows(), value.cols());
+    n.backward_fn = std::move(fn);
+  }
+  n.value = std::move(value);
+  n.needs_grad = needs_grad;
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Var Tape::constant(Matrix value) {
+  return Var{push(std::move(value), false, nullptr)};
+}
+
+Var Tape::param(Param& p) {
+  const int idx = push(p.value, track_gradients_, nullptr);
+  if (track_gradients_) nodes_[static_cast<std::size_t>(idx)].bound_param = &p;
+  return Var{idx};
+}
+
+Var Tape::matmul(Var a, Var b) {
+  const Matrix& A = value(a);
+  const Matrix& B = value(b);
+  Matrix out = A.matmul(B);
+  const bool ng = node(a).needs_grad || node(b).needs_grad;
+  const int ai = a.idx, bi = b.idx;
+  return Var{push(std::move(out), ng, [ai, bi](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    Node& nb = t.nodes_[bi];
+    if (na.needs_grad) na.grad.add_in_place(self.grad.matmul_transposed(nb.value));
+    if (nb.needs_grad) nb.grad.add_in_place(na.value.transposed_matmul(self.grad));
+  })};
+}
+
+Var Tape::add(Var a, Var b) {
+  Matrix out = value(a);
+  out.add_in_place(value(b));
+  const bool ng = node(a).needs_grad || node(b).needs_grad;
+  const int ai = a.idx, bi = b.idx;
+  return Var{push(std::move(out), ng, [ai, bi](Tape& t, Node& self) {
+    if (t.nodes_[ai].needs_grad) t.nodes_[ai].grad.add_in_place(self.grad);
+    if (t.nodes_[bi].needs_grad) t.nodes_[bi].grad.add_in_place(self.grad);
+  })};
+}
+
+Var Tape::add_bias(Var a, Var bias) {
+  const Matrix& A = value(a);
+  const Matrix& B = value(bias);
+  assert(B.rows() == 1 && B.cols() == A.cols());
+  Matrix out = A;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += B(0, c);
+  }
+  const bool ng = node(a).needs_grad || node(bias).needs_grad;
+  const int ai = a.idx, bi = bias.idx;
+  return Var{push(std::move(out), ng, [ai, bi](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    Node& nb = t.nodes_[bi];
+    if (na.needs_grad) na.grad.add_in_place(self.grad);
+    if (nb.needs_grad) {
+      for (std::size_t r = 0; r < self.grad.rows(); ++r) {
+        for (std::size_t c = 0; c < self.grad.cols(); ++c) {
+          nb.grad(0, c) += self.grad(r, c);
+        }
+      }
+    }
+  })};
+}
+
+Var Tape::addn(const std::vector<Var>& xs) {
+  assert(!xs.empty());
+  Matrix out = value(xs[0]);
+  bool ng = node(xs[0]).needs_grad;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    out.add_in_place(value(xs[i]));
+    ng = ng || node(xs[i]).needs_grad;
+  }
+  std::vector<int> idxs;
+  idxs.reserve(xs.size());
+  for (Var v : xs) idxs.push_back(v.idx);
+  return Var{push(std::move(out), ng, [idxs](Tape& t, Node& self) {
+    for (int i : idxs) {
+      if (t.nodes_[i].needs_grad) t.nodes_[i].grad.add_in_place(self.grad);
+    }
+  })};
+}
+
+Var Tape::scale(Var a, double c) {
+  Matrix out = value(a);
+  for (double& v : out.raw()) v *= c;
+  const int ai = a.idx;
+  return Var{push(std::move(out), node(a).needs_grad, [ai, c](Tape& t, Node& self) {
+    if (t.nodes_[ai].needs_grad) t.nodes_[ai].grad.axpy(c, self.grad);
+  })};
+}
+
+Var Tape::leaky_relu(Var a, double slope) {
+  Matrix out = value(a);
+  for (double& v : out.raw()) v = v > 0.0 ? v : slope * v;
+  const int ai = a.idx;
+  return Var{push(std::move(out), node(a).needs_grad,
+                  [ai, slope](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    for (std::size_t i = 0; i < self.grad.raw().size(); ++i) {
+      const double x = na.value.raw()[i];
+      na.grad.raw()[i] += self.grad.raw()[i] * (x > 0.0 ? 1.0 : slope);
+    }
+  })};
+}
+
+Var Tape::tanh(Var a) {
+  Matrix out = value(a);
+  for (double& v : out.raw()) v = std::tanh(v);
+  const int ai = a.idx;
+  return Var{push(std::move(out), node(a).needs_grad, [ai](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    for (std::size_t i = 0; i < self.grad.raw().size(); ++i) {
+      const double y = self.value.raw()[i];
+      na.grad.raw()[i] += self.grad.raw()[i] * (1.0 - y * y);
+    }
+  })};
+}
+
+Var Tape::concat_cols(const std::vector<Var>& xs) {
+  assert(!xs.empty());
+  const std::size_t rows = value(xs[0]).rows();
+  std::size_t cols = 0;
+  bool ng = false;
+  for (Var v : xs) {
+    assert(value(v).rows() == rows);
+    cols += value(v).cols();
+    ng = ng || node(v).needs_grad;
+  }
+  Matrix out(rows, cols);
+  std::size_t offset = 0;
+  for (Var v : xs) {
+    const Matrix& m = value(v);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) out(r, offset + c) = m(r, c);
+    }
+    offset += m.cols();
+  }
+  std::vector<int> idxs;
+  for (Var v : xs) idxs.push_back(v.idx);
+  return Var{push(std::move(out), ng, [idxs](Tape& t, Node& self) {
+    std::size_t offset = 0;
+    for (int i : idxs) {
+      Node& ni = t.nodes_[i];
+      const std::size_t c0 = offset;
+      offset += ni.value.cols();
+      if (!ni.needs_grad) continue;
+      for (std::size_t r = 0; r < ni.value.rows(); ++r) {
+        for (std::size_t c = 0; c < ni.value.cols(); ++c) {
+          ni.grad(r, c) += self.grad(r, c0 + c);
+        }
+      }
+    }
+  })};
+}
+
+Var Tape::row(Var a, std::size_t r) {
+  const Matrix& A = value(a);
+  assert(r < A.rows());
+  Matrix out(1, A.cols());
+  for (std::size_t c = 0; c < A.cols(); ++c) out(0, c) = A(r, c);
+  const int ai = a.idx;
+  return Var{push(std::move(out), node(a).needs_grad, [ai, r](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    for (std::size_t c = 0; c < self.grad.cols(); ++c) na.grad(r, c) += self.grad(0, c);
+  })};
+}
+
+Var Tape::concat_scalars(const std::vector<Var>& xs) {
+  assert(!xs.empty());
+  Matrix out(1, xs.size());
+  bool ng = false;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    assert(value(xs[i]).size() == 1);
+    out(0, i) = value(xs[i])(0, 0);
+    ng = ng || node(xs[i]).needs_grad;
+  }
+  std::vector<int> idxs;
+  for (Var v : xs) idxs.push_back(v.idx);
+  return Var{push(std::move(out), ng, [idxs](Tape& t, Node& self) {
+    for (std::size_t i = 0; i < idxs.size(); ++i) {
+      Node& ni = t.nodes_[idxs[i]];
+      if (ni.needs_grad) ni.grad(0, 0) += self.grad(0, i);
+    }
+  })};
+}
+
+Var Tape::sum_rows(Var a) {
+  const Matrix& A = value(a);
+  Matrix out(1, A.cols());
+  for (std::size_t r = 0; r < A.rows(); ++r) {
+    for (std::size_t c = 0; c < A.cols(); ++c) out(0, c) += A(r, c);
+  }
+  const int ai = a.idx;
+  return Var{push(std::move(out), node(a).needs_grad, [ai](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    for (std::size_t r = 0; r < na.value.rows(); ++r) {
+      for (std::size_t c = 0; c < na.value.cols(); ++c) {
+        na.grad(r, c) += self.grad(0, c);
+      }
+    }
+  })};
+}
+
+Var Tape::element(Var a, std::size_t r, std::size_t c) {
+  const Matrix& A = value(a);
+  assert(r < A.rows() && c < A.cols());
+  Matrix out(1, 1);
+  out(0, 0) = A(r, c);
+  const int ai = a.idx;
+  return Var{push(std::move(out), node(a).needs_grad,
+                  [ai, r, c](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (na.needs_grad) na.grad(r, c) += self.grad(0, 0);
+  })};
+}
+
+Var Tape::log_prob_pick(Var logits, std::size_t pick) {
+  const Matrix& L = value(logits);
+  assert(L.rows() == 1 && pick < L.cols());
+  double max_logit = L(0, 0);
+  for (std::size_t c = 1; c < L.cols(); ++c) max_logit = std::max(max_logit, L(0, c));
+  double denom = 0.0;
+  for (std::size_t c = 0; c < L.cols(); ++c) denom += std::exp(L(0, c) - max_logit);
+  const double log_z = max_logit + std::log(denom);
+  Matrix out(1, 1);
+  out(0, 0) = L(0, pick) - log_z;
+  const int ai = logits.idx;
+  return Var{push(std::move(out), node(logits).needs_grad,
+                  [ai, pick, log_z](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    const double g = self.grad(0, 0);
+    for (std::size_t c = 0; c < na.value.cols(); ++c) {
+      const double p = std::exp(na.value(0, c) - log_z);
+      na.grad(0, c) += g * ((c == pick ? 1.0 : 0.0) - p);
+    }
+  })};
+}
+
+Var Tape::entropy(Var logits) {
+  const std::vector<double> p = softmax_values(logits);
+  double h = 0.0;
+  for (double pi : p) {
+    if (pi > 1e-12) h -= pi * std::log(pi);
+  }
+  Matrix out(1, 1);
+  out(0, 0) = h;
+  const int ai = logits.idx;
+  return Var{push(std::move(out), node(logits).needs_grad,
+                  [ai, p, h](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    const double g = self.grad(0, 0);
+    // dH/dl_j = -p_j (log p_j + H)
+    for (std::size_t c = 0; c < p.size(); ++c) {
+      const double logp = p[c] > 1e-12 ? std::log(p[c]) : -27.6;
+      na.grad(0, c) += g * (-p[c] * (logp + h));
+    }
+  })};
+}
+
+std::vector<double> Tape::softmax_values(Var logits) const {
+  const Matrix& L = value(logits);
+  std::vector<double> out(L.cols());
+  double max_logit = L(0, 0);
+  for (std::size_t c = 1; c < L.cols(); ++c) max_logit = std::max(max_logit, L(0, c));
+  double denom = 0.0;
+  for (std::size_t c = 0; c < L.cols(); ++c) {
+    out[c] = std::exp(L(0, c) - max_logit);
+    denom += out[c];
+  }
+  for (double& v : out) v /= denom;
+  return out;
+}
+
+void Tape::backward(Var output, double seed) {
+  Node& out = node(output);
+  assert(out.value.size() == 1);
+  out.grad(0, 0) += seed;
+  for (int i = output.idx; i >= 0; --i) {
+    Node& n = nodes_[i];
+    if (!n.needs_grad) continue;
+    if (n.backward_fn) n.backward_fn(*this, n);
+    if (n.bound_param) n.bound_param->grad.add_in_place(n.grad);
+  }
+}
+
+}  // namespace decima::nn

@@ -1,0 +1,108 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// All of Decima's operations — the graph neural network (Eq. 1), the summary
+// levels, and the policy score functions — are expressed as tape ops, so that
+// ∇_θ log π_θ(s, a) (needed by REINFORCE, Eq. 3) is computed exactly.
+//
+// Usage: build a fresh Tape per forward pass, obtain Vars from inputs/params,
+// compose ops, call backward() on a scalar Var. Gradients of parameters are
+// accumulated into their Param::grad storage.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace decima::nn {
+
+// A learnable parameter: value plus gradient accumulator.
+struct Param {
+  Matrix value;
+  Matrix grad;
+  std::string name;
+
+  Param() = default;
+  Param(std::string n, std::size_t rows, std::size_t cols)
+      : value(rows, cols), grad(rows, cols), name(std::move(n)) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+class Tape;
+
+// Lightweight handle to a node on the tape.
+struct Var {
+  int idx = -1;
+  bool valid() const { return idx >= 0; }
+};
+
+class Tape {
+ public:
+  // track_gradients = false builds a forward-only graph (inference mode):
+  // parameters behave like constants, no gradient buffers or backward
+  // closures are allocated, and backward() must not be called.
+  explicit Tape(bool track_gradients = true)
+      : track_gradients_(track_gradients) {}
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // --- Leaves -------------------------------------------------------------
+  Var constant(Matrix value);          // no gradient tracked
+  Var param(Param& p);                 // gradient accumulated into p.grad
+
+  // --- Elementwise / linear ops -------------------------------------------
+  Var matmul(Var a, Var b);
+  Var add(Var a, Var b);               // same shape
+  Var add_bias(Var a, Var bias);       // bias is 1 x cols, broadcast over rows
+  Var addn(const std::vector<Var>& xs);// elementwise sum, same shapes
+  Var scale(Var a, double c);
+  Var leaky_relu(Var a, double slope = 0.2);
+  Var tanh(Var a);
+
+  // --- Shape ops ------------------------------------------------------------
+  Var concat_cols(const std::vector<Var>& xs);  // all same row count
+  Var row(Var a, std::size_t r);                // 1 x cols slice
+  Var concat_scalars(const std::vector<Var>& xs);  // n scalars -> 1 x n
+  Var sum_rows(Var a);                          // n x m -> 1 x m
+  Var element(Var a, std::size_t r, std::size_t c);  // 1 x 1 slice
+
+  // --- Losses ---------------------------------------------------------------
+  // log softmax(logits)[pick]; logits is 1 x n. Returns a 1 x 1 scalar.
+  Var log_prob_pick(Var logits, std::size_t pick);
+
+  // Entropy of softmax(logits) for a 1 x n logits row. Returns 1 x 1.
+  // Used as an exploration bonus during policy-gradient training.
+  Var entropy(Var logits);
+
+  // Softmax probabilities of a 1 x n logits row (forward value only; the
+  // backward path flows through log_prob_pick in training).
+  std::vector<double> softmax_values(Var logits) const;
+
+  // --- Access / backward ------------------------------------------------------
+  const Matrix& value(Var v) const { return nodes_[v.idx].value; }
+  const Matrix& grad(Var v) const { return nodes_[v.idx].grad; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  // Runs reverse-mode accumulation from `output` (must be 1x1) with seed
+  // d(output)/d(output) = `seed`. Parameter grads accumulate into Param::grad.
+  void backward(Var output, double seed = 1.0);
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    Param* bound_param = nullptr;  // non-null for param leaves
+    bool needs_grad = false;
+    // Backward: given this node's grad, scatter into parents' grads.
+    std::function<void(Tape&, Node&)> backward_fn;
+  };
+
+  int push(Matrix value, bool needs_grad, std::function<void(Tape&, Node&)> fn);
+  Node& node(Var v) { return nodes_[v.idx]; }
+
+  bool track_gradients_ = true;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace decima::nn

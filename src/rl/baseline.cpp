@@ -1,0 +1,46 @@
+#include "rl/baseline.h"
+
+#include <algorithm>
+
+namespace decima::rl {
+
+std::vector<double> returns_to_go(const std::vector<double>& rewards) {
+  // rewards has K+1 entries for K actions; the return credited to action k
+  // is the sum of rewards received after it: Σ_{j=k+1}^{K} rewards[j].
+  if (rewards.empty()) return {};
+  const std::size_t k_actions = rewards.size() - 1;
+  std::vector<double> out(k_actions, 0.0);
+  double acc = rewards[k_actions];
+  for (std::size_t k = k_actions; k-- > 0;) {
+    out[k] = acc;
+    acc += rewards[k];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> time_aligned_baselines(
+    const std::vector<EpisodeReturns>& episodes) {
+  // Return-to-go of episode j at query time t: the return of the first
+  // action at time >= t; 0 if the episode has no actions after t.
+  auto value_at = [](const EpisodeReturns& ep, double t) {
+    const auto it = std::lower_bound(ep.times.begin(), ep.times.end(), t);
+    if (it == ep.times.end()) return 0.0;
+    return ep.returns[static_cast<std::size_t>(it - ep.times.begin())];
+  };
+
+  std::vector<std::vector<double>> out(episodes.size());
+  const double n = static_cast<double>(episodes.size());
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    out[i].resize(episodes[i].times.size());
+    for (std::size_t k = 0; k < episodes[i].times.size(); ++k) {
+      double sum = 0.0;
+      for (const EpisodeReturns& ep : episodes) {
+        sum += value_at(ep, episodes[i].times[k]);
+      }
+      out[i][k] = sum / n;
+    }
+  }
+  return out;
+}
+
+}  // namespace decima::rl

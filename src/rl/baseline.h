@@ -1,0 +1,32 @@
+// Input-dependent, time-aligned baselines (§5.3 challenge #2).
+//
+// The paper fixes the same job arrival sequence across the N episodes of a
+// training iteration and computes baselines *per sequence*: the baseline for
+// a step at wall-clock time t is the average return-to-go of all episodes at
+// time t (piecewise interpolation, following the Decima implementation).
+// This removes the variance caused by the exogenous arrival process.
+#pragma once
+
+#include <vector>
+
+namespace decima::rl {
+
+// Per-episode data: action times t_k and matching returns-to-go R_k.
+struct EpisodeReturns {
+  std::vector<double> times;
+  std::vector<double> returns;
+};
+
+// Returns, for each episode, the per-step baseline values: b^i_k = mean over
+// episodes j of R^j interpolated at time t^i_k (step interpolation: the
+// return-to-go of the first action at or after t; episodes that ended before
+// t contribute 0, i.e. no outstanding reward).
+std::vector<std::vector<double>> time_aligned_baselines(
+    const std::vector<EpisodeReturns>& episodes);
+
+// Suffix sums: returns-to-go R_k = Σ_{j>k} r_j for rewards indexed so that
+// rewards[j] is received *after* action j-1 (rewards.size() == times.size()+1,
+// the final entry covering the span from the last action to episode end).
+std::vector<double> returns_to_go(const std::vector<double>& rewards);
+
+}  // namespace decima::rl

@@ -1,0 +1,102 @@
+#include "rl/objectives.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decima::rl {
+
+namespace {
+
+// Applies `interval_penalty(t0, t1)` over the K+1 action-aligned intervals.
+template <typename F>
+std::vector<double> per_interval(const sim::ClusterEnv& env, F&& penalty) {
+  const auto& times = env.action_times();
+  std::vector<double> out;
+  out.reserve(times.size() + 1);
+  double prev = 0.0;
+  for (double t : times) {
+    out.push_back(-penalty(prev, t));
+    prev = t;
+  }
+  out.push_back(-penalty(prev, env.now()));
+  return out;
+}
+
+// ∫_{t0}^{t1} age_j(t) dt for one job active on a sub-interval.
+double age_integral(double arrival, double finish, double t0, double t1) {
+  const double lo = std::max(t0, arrival);
+  const double hi = std::min(t1, finish);
+  if (hi <= lo) return 0.0;
+  const double a0 = lo - arrival;
+  const double a1 = hi - arrival;
+  return 0.5 * (a1 * a1 - a0 * a0);
+}
+
+}  // namespace
+
+std::vector<double> avg_jct_rewards(const sim::ClusterEnv& env) {
+  return env.action_rewards();
+}
+
+std::vector<double> makespan_rewards(const sim::ClusterEnv& env) {
+  return env.action_rewards_makespan();
+}
+
+std::vector<double> tail_jct_rewards(const sim::ClusterEnv& env) {
+  const auto& jobs = env.jobs();
+  return per_interval(env, [&](double t0, double t1) {
+    double total = 0.0;
+    for (const auto& j : jobs) {
+      if (!j.arrived) continue;
+      const double fin = j.done() ? j.finish : env.now();
+      total += age_integral(j.arrival, fin, t0, t1);
+    }
+    return total;
+  });
+}
+
+std::vector<double> deadline_rewards(const sim::ClusterEnv& env,
+                                     const DeadlineConfig& config) {
+  const auto& jobs = env.jobs();
+  // Precompute per-job deadline and miss time (the moment the miss becomes
+  // definite: the late finish, or the deadline itself if still unfinished).
+  std::vector<double> miss_at;
+  for (const auto& j : jobs) {
+    if (!j.arrived) continue;
+    const double deadline =
+        j.arrival + config.slack * j.spec.critical_path_duration();
+    if (j.done()) {
+      if (j.finish > deadline) miss_at.push_back(j.finish);
+    } else if (env.now() > deadline) {
+      miss_at.push_back(deadline);
+    }
+  }
+  const auto base = env.action_rewards();
+  const auto& times = env.action_times();
+  std::vector<double> out = base;
+  double prev = 0.0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const double t =
+        k < times.size() ? times[k] : std::max(prev, env.now());
+    for (double m : miss_at) {
+      if (m > prev && m <= t) out[k] -= config.miss_penalty;
+    }
+    prev = t;
+  }
+  return out;
+}
+
+double deadline_hit_rate(const sim::ClusterEnv& env,
+                         const DeadlineConfig& config) {
+  int done = 0, hit = 0;
+  for (const auto& j : env.jobs()) {
+    if (!j.done()) continue;
+    ++done;
+    const double deadline =
+        j.arrival + config.slack * j.spec.critical_path_duration();
+    if (j.finish <= deadline) ++hit;
+  }
+  return done ? static_cast<double>(hit) / done : 0.0;
+}
+
+}  // namespace decima::rl

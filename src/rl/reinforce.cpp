@@ -1,0 +1,233 @@
+#include "rl/reinforce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "rl/baseline.h"
+
+namespace decima::rl {
+
+ReinforceTrainer::ReinforceTrainer(core::DecimaAgent& agent, TrainConfig config)
+    : agent_(agent),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      adam_(&agent.params(), nn::AdamConfig{.lr = config_.lr}),
+      tau_mean_(config_.tau_mean_init),
+      entropy_weight_(config_.entropy_weight),
+      reward_rate_(config_.reward_rate_horizon) {}
+
+std::vector<double> ReinforceTrainer::episode_rewards(
+    const sim::ClusterEnv& env) const {
+  switch (config_.objective) {
+    case Objective::kAvgJct:
+      return avg_jct_rewards(env);
+    case Objective::kMakespan:
+      return makespan_rewards(env);
+    case Objective::kTailJct:
+      return tail_jct_rewards(env);
+    case Objective::kDeadline:
+      return deadline_rewards(env, config_.deadline);
+  }
+  return avg_jct_rewards(env);
+}
+
+ReinforceTrainer::EpisodeData ReinforceTrainer::rollout(
+    core::DecimaAgent& worker, std::uint64_t workload_seed,
+    std::uint64_t env_seed, std::uint64_t sample_seed, double tau) const {
+  sim::EnvConfig env_config = config_.env;
+  env_config.seed = env_seed;
+  sim::ClusterEnv env(env_config);
+  workload::load(env, config_.sampler(workload_seed));
+
+  worker.set_mode(core::Mode::kSample);
+  worker.set_sample_seed(sample_seed);
+  worker.start_recording();
+  env.run(worker, tau);
+
+  EpisodeData data;
+  data.actions = worker.take_recorded();
+  data.rewards = episode_rewards(env);
+  data.action_times.assign(env.action_times().begin(), env.action_times().end());
+  data.avg_jct = env.avg_jct();
+  data.end_time = env.now();
+  data.completed = static_cast<int>(env.jcts().size());
+  data.env_seed = env_seed;
+  data.workload_seed = workload_seed;
+  return data;
+}
+
+void ReinforceTrainer::replay(core::DecimaAgent& worker,
+                              const EpisodeData& episode,
+                              std::vector<double> advantages,
+                              double tau) const {
+  sim::EnvConfig env_config = config_.env;
+  env_config.seed = episode.env_seed;
+  sim::ClusterEnv env(env_config);
+  workload::load(env, config_.sampler(episode.workload_seed));
+
+  worker.params().zero_grads();
+  worker.start_replay(episode.actions, std::move(advantages), entropy_weight_);
+  env.run(worker, tau);
+}
+
+IterationStats ReinforceTrainer::iterate() {
+  const int n = config_.episodes_per_iter;
+
+  // (1) Episode length: memoryless termination with growing mean (§5.3).
+  const double tau =
+      config_.curriculum ? rng_.exponential(tau_mean_) : sim::kInfTime;
+  tau_mean_ = std::min(tau_mean_ + config_.tau_mean_growth, config_.tau_mean_max);
+
+  // (2) Arrival sequence(s). fixed_sequences shares one sequence across the
+  // iteration's episodes (input-dependent baseline); the ablation draws a
+  // fresh sequence per episode.
+  const std::uint64_t shared_seq = rng_.fork();
+  std::vector<std::uint64_t> workload_seeds(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> env_seeds(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> sample_seeds(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workload_seeds[static_cast<std::size_t>(i)] =
+        config_.fixed_sequences ? shared_seq : rng_.fork();
+    env_seeds[static_cast<std::size_t>(i)] = rng_.fork();
+    sample_seeds[static_cast<std::size_t>(i)] = rng_.fork();
+  }
+
+  // Per-episode worker agents sharing the master's current parameters.
+  std::vector<std::unique_ptr<core::DecimaAgent>> workers;
+  workers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers.push_back(agent_.clone());
+
+  // (3) Parallel rollouts.
+  std::vector<EpisodeData> episodes(static_cast<std::size_t>(n));
+  {
+    const int threads = std::max(1, std::min(config_.num_threads, n));
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int i = t; i < n; i += threads) {
+          const std::size_t ii = static_cast<std::size_t>(i);
+          episodes[ii] = rollout(*workers[ii], workload_seeds[ii],
+                                 env_seeds[ii], sample_seeds[ii], tau);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  // (4) Returns, baselines, advantages.
+  double mean_total_reward = 0.0;
+  double mean_avg_jct = 0.0;
+  int total_actions = 0;
+  std::vector<EpisodeReturns> returns(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    std::vector<double> rewards = episodes[ii].rewards;
+    // Differential (average) reward: subtract the moving-average reward rate
+    // times each interval's simulated duration (Appendix B).
+    if (config_.differential_reward) {
+      const double end = episodes[ii].end_time;
+      const auto& times = episodes[ii].action_times;
+      double total_r = 0.0;
+      for (double r : rewards) total_r += r;
+      if (end > 0.0) reward_rate_.add(total_r / end);
+      const double rate = reward_rate_.value();
+      double prev_t = 0.0;
+      for (std::size_t k = 0; k < rewards.size(); ++k) {
+        const double t_k = k < times.size() ? times[k] : std::max(prev_t, end);
+        rewards[k] -= rate * std::max(t_k - prev_t, 0.0);
+        prev_t = t_k;
+      }
+    }
+    returns[ii].times = episodes[ii].action_times;
+    returns[ii].returns = returns_to_go(rewards);
+    for (double r : episodes[ii].rewards) mean_total_reward += r;
+    mean_avg_jct += episodes[ii].avg_jct;
+    total_actions += static_cast<int>(episodes[ii].actions.size());
+  }
+  mean_total_reward /= std::max(n, 1);
+  mean_avg_jct /= std::max(n, 1);
+
+  const auto baselines = time_aligned_baselines(returns);
+  std::vector<std::vector<double>> advantages(static_cast<std::size_t>(n));
+  RunningStats adv_stats;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    advantages[ii].resize(returns[ii].returns.size());
+    for (std::size_t k = 0; k < advantages[ii].size(); ++k) {
+      advantages[ii][k] = returns[ii].returns[k] - baselines[ii][k];
+      adv_stats.add(advantages[ii][k]);
+    }
+  }
+  if (config_.normalize_advantages) {
+    const double scale = adv_stats.stddev() > 1e-9 ? 1.0 / adv_stats.stddev() : 0.0;
+    for (auto& ep : advantages) {
+      for (double& a : ep) a *= scale;
+    }
+  }
+
+  // (5) Parallel replays accumulate gradients into each worker's params.
+  {
+    const int threads = std::max(1, std::min(config_.num_threads, n));
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int i = t; i < n; i += threads) {
+          const std::size_t ii = static_cast<std::size_t>(i);
+          replay(*workers[ii], episodes[ii], advantages[ii], tau);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  // (6) Reduce gradients (deterministic order), clip, Adam.
+  agent_.params().zero_grads();
+  for (int i = 0; i < n; ++i) {
+    agent_.params().accumulate_grads_from(
+        workers[static_cast<std::size_t>(i)]->params(), 1.0 / n);
+  }
+  agent_.params().clip_grad_norm(config_.grad_clip);
+  const double grad_norm = agent_.params().grad_norm();
+  adam_.step();
+  agent_.params().zero_grads();
+
+  entropy_weight_ =
+      std::max(entropy_weight_ * config_.entropy_decay, config_.entropy_min);
+
+  IterationStats stats;
+  stats.iteration = iteration_++;
+  stats.tau = tau;
+  stats.mean_total_reward = mean_total_reward;
+  stats.mean_avg_jct = mean_avg_jct;
+  stats.total_actions = total_actions;
+  stats.grad_norm = grad_norm;
+  stats.entropy_weight = entropy_weight_;
+  return stats;
+}
+
+std::vector<IterationStats> ReinforceTrainer::train() {
+  std::vector<IterationStats> curve;
+  curve.reserve(static_cast<std::size_t>(config_.num_iterations));
+  for (int i = 0; i < config_.num_iterations; ++i) curve.push_back(iterate());
+  return curve;
+}
+
+double evaluate_avg_jct(
+    sim::Scheduler& sched, const sim::EnvConfig& config,
+    const std::vector<std::vector<workload::ArrivingJob>>& workloads) {
+  double total = 0.0;
+  for (const auto& w : workloads) {
+    sim::ClusterEnv env(config);
+    workload::load(env, w);
+    env.run(sched);
+    double jct_sum = 0.0;
+    for (const auto& job : env.jobs()) {
+      jct_sum += job.done() ? job.jct() : env.now() - job.arrival;
+    }
+    total += jct_sum / static_cast<double>(env.jobs().size());
+  }
+  return total / static_cast<double>(workloads.size());
+}
+
+}  // namespace decima::rl

@@ -1,0 +1,138 @@
+// REINFORCE training loop — Algorithm 1 of the paper.
+//
+// Per iteration:
+//   1. sample an episode length τ ~ Exp(τ_mean) and grow τ_mean (curriculum
+//      learning, §5.3 challenge #1; memoryless termination so the agent
+//      cannot game a deterministic horizon);
+//   2. sample a job arrival sequence, shared by all N episodes of the
+//      iteration (input-dependent baseline, §5.3 challenge #2);
+//   3. roll out N episodes in parallel worker threads (stochastic policy);
+//   4. convert rewards to returns (optionally differential/average-reward,
+//      Appendix B), compute time-aligned per-sequence baselines, normalize
+//      advantages;
+//   5. replay each episode, accumulating −Σ_k A_k ∇log π_θ(s_k, a_k) − β∇H;
+//   6. clip gradients and take an Adam step (lr 1e-3, Appendix C).
+//
+// Ablation switches reproduce Fig. 14: fixed_sequences = false disables the
+// input-dependent baseline; batched samplers train on batch arrivals;
+// agent-side flags disable the GNN or parallelism control.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/agent.h"
+#include "nn/adam.h"
+#include "rl/objectives.h"
+#include "util/stats.h"
+#include "workload/arrivals.h"
+
+namespace decima::rl {
+
+// kAvgJct and kMakespan are the paper's evaluated objectives (§7); kTailJct
+// and kDeadline implement the §8 reward-shaping extensions (objectives.h).
+enum class Objective { kAvgJct, kMakespan, kTailJct, kDeadline };
+
+// Produces the job arrival sequence for a given seed. The same seed must
+// yield the same sequence (required by the input-dependent baseline and the
+// replay pass).
+using WorkloadSampler =
+    std::function<std::vector<workload::ArrivingJob>(std::uint64_t seed)>;
+
+struct TrainConfig {
+  int num_iterations = 100;
+  int episodes_per_iter = 8;
+  int num_threads = 8;
+
+  double lr = 1e-3;
+  double grad_clip = 20.0;
+
+  // Entropy bonus, decayed multiplicatively each iteration.
+  double entropy_weight = 0.2;
+  double entropy_decay = 0.97;
+  double entropy_min = 0.005;
+
+  // Curriculum (§5.3): episodes end after τ ~ Exp(τ_mean) simulated seconds;
+  // τ_mean grows linearly per iteration.
+  bool curriculum = true;
+  double tau_mean_init = 600.0;
+  double tau_mean_growth = 60.0;
+  double tau_mean_max = 1e6;
+
+  // Input-dependent baseline: same arrival sequence for all episodes of an
+  // iteration. false = the "w/o variance reduction" ablation.
+  bool fixed_sequences = true;
+
+  // Average-reward (differential) formulation for continuous arrivals.
+  bool differential_reward = true;
+  double reward_rate_horizon = 1e3;  // moving-average horizon (samples)
+
+  bool normalize_advantages = true;
+
+  Objective objective = Objective::kAvgJct;
+  DeadlineConfig deadline;  // used when objective == kDeadline
+  sim::EnvConfig env;
+  WorkloadSampler sampler;
+  std::uint64_t seed = 123;
+};
+
+struct IterationStats {
+  int iteration = 0;
+  double tau = 0.0;
+  double mean_total_reward = 0.0;  // across the N episodes (pre-baseline)
+  double mean_avg_jct = 0.0;       // of completed jobs in the rollouts
+  int total_actions = 0;
+  double grad_norm = 0.0;
+  double entropy_weight = 0.0;
+};
+
+class ReinforceTrainer {
+ public:
+  // `agent` is the master policy; its parameters are updated in place.
+  ReinforceTrainer(core::DecimaAgent& agent, TrainConfig config);
+
+  // Runs one Algorithm-1 iteration.
+  IterationStats iterate();
+
+  // Full training run; returns the per-iteration learning curve.
+  std::vector<IterationStats> train();
+
+  double tau_mean() const { return tau_mean_; }
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  struct EpisodeData {
+    std::vector<core::RecordedAction> actions;
+    std::vector<double> rewards;       // K+1 entries (see baseline.h)
+    std::vector<double> action_times;  // K entries
+    double end_time = 0.0;             // simulated time when the episode ended
+    double avg_jct = 0.0;
+    int completed = 0;
+    std::uint64_t env_seed = 0;
+    std::uint64_t workload_seed = 0;
+  };
+
+  EpisodeData rollout(core::DecimaAgent& worker, std::uint64_t workload_seed,
+                      std::uint64_t env_seed, std::uint64_t sample_seed,
+                      double tau) const;
+  void replay(core::DecimaAgent& worker, const EpisodeData& episode,
+              std::vector<double> advantages, double tau) const;
+  std::vector<double> episode_rewards(const sim::ClusterEnv& env) const;
+
+  core::DecimaAgent& agent_;
+  TrainConfig config_;
+  Rng rng_;
+  nn::Adam adam_;
+  double tau_mean_;
+  double entropy_weight_;
+  MovingAverage reward_rate_;  // r̄ for the differential reward
+  int iteration_ = 0;
+};
+
+// Greedy evaluation of a scheduler over full episodes; unfinished jobs are
+// charged their age at episode end so unstable policies are penalized.
+double evaluate_avg_jct(sim::Scheduler& sched, const sim::EnvConfig& config,
+                        const std::vector<std::vector<workload::ArrivingJob>>&
+                            workloads);
+
+}  // namespace decima::rl

@@ -1,0 +1,92 @@
+#include "sched/heuristics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decima::sched {
+
+// Weighted fair scheduling (§7.1 baselines (3)-(5)): each unfinished job i
+// receives a share of the executors proportional to T_i^alpha, where T_i is
+// the job's total work. alpha = 0 is the simple fair scheme, alpha = 1 the
+// naive weighted fair one, and the tuned variant sweeps alpha (usually to
+// ≈ -1, i.e. shares inversely proportional to job size). Within a job the
+// scheduler round-robins over runnable stages to drain all branches
+// concurrently. When a job cannot absorb its share, the spare executors are
+// backfilled to other jobs (work conservation).
+Action WeightedFairScheduler::schedule(const ClusterEnv& env) {
+  const auto& jobs = env.jobs();
+  cursors_.resize(jobs.size(), 0);
+
+  // Shares are computed over all active (arrived, unfinished) jobs, whether
+  // or not they have a runnable stage at this instant.
+  std::vector<int> active;
+  double total_weight = 0.0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!jobs[j].arrived || jobs[j].done()) continue;
+    active.push_back(static_cast<int>(j));
+    total_weight += std::pow(std::max(jobs[j].spec.total_work(), 1e-9), alpha_);
+  }
+  if (active.empty() || total_weight <= 0.0) return Action::none();
+
+  const auto runnable = jobs_with_runnable_stages(env);
+  if (runnable.empty()) return Action::none();
+
+  // Target allocation per job (at least 1 to avoid starvation).
+  auto target = [&](int j) {
+    const double w =
+        std::pow(std::max(jobs[static_cast<std::size_t>(j)].spec.total_work(), 1e-9), alpha_);
+    return std::max(
+        1, static_cast<int>(std::floor(env.total_executors() * w / total_weight)));
+  };
+
+  // First pass: most-deficit job below its target.
+  int best = -1;
+  double best_deficit = 0.0;
+  for (int j : runnable) {
+    const int t = target(j);
+    const int cur = jobs[static_cast<std::size_t>(j)].executors;
+    const double deficit =
+        static_cast<double>(t - cur) / static_cast<double>(std::max(t, 1));
+    if (cur < t && deficit > best_deficit) {
+      best_deficit = deficit;
+      best = j;
+    }
+  }
+
+  int limit;
+  if (best >= 0) {
+    limit = target(best);
+  } else {
+    // Backfill: all runnable jobs are at/above target but executors remain
+    // free. Give the spare capacity to the job with the fewest executors.
+    best = runnable[0];
+    for (int j : runnable) {
+      if (jobs[static_cast<std::size_t>(j)].executors <
+          jobs[static_cast<std::size_t>(best)].executors) {
+        best = j;
+      }
+    }
+    limit = jobs[static_cast<std::size_t>(best)].executors +
+            env.free_executor_count();
+  }
+
+  const NodeRef node =
+      round_robin_stage(env, best, cursors_[static_cast<std::size_t>(best)]);
+  if (!node.valid()) return Action::none();
+  Action a;
+  a.node = node;
+  a.limit = limit;
+  a.exec_class = best_fit_class(
+      env, jobs[static_cast<std::size_t>(best)]
+               .spec.stages[static_cast<std::size_t>(node.stage)]
+               .mem_req);
+  return a;
+}
+
+std::string WeightedFairScheduler::name() const {
+  if (alpha_ == 0.0) return "Fair";
+  if (alpha_ == 1.0) return "NaiveWeightedFair";
+  return "WeightedFair(alpha=" + std::to_string(alpha_).substr(0, 5) + ")";
+}
+
+}  // namespace decima::sched

@@ -1,0 +1,115 @@
+#include "sched/heuristics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decima::sched {
+
+// Graphene* (§7.1 baseline (7), Appendix F): an adaptation of Graphene
+// [OSDI'16] to discrete executor classes.
+//  - Troublesome nodes: stages that carry a large fraction of their job's
+//    work or have a large memory request (Graphene §4.1's long/resource-
+//    hungry criterion). Their priority is suppressed until the *whole*
+//    troublesome group of the DAG is simultaneously runnable, so the group
+//    gets scheduled together (Graphene's offline planning essence).
+//  - Parallelism control: tuned weighted fair shares (T_i^alpha).
+//  - Packing: best-fit executor class by memory.
+std::vector<int> GrapheneScheduler::troublesome_stages(
+    const sim::JobSpec& spec, const GrapheneConfig& config) {
+  std::vector<int> out;
+  const double total = std::max(spec.total_work(), 1e-9);
+  for (std::size_t v = 0; v < spec.stages.size(); ++v) {
+    const bool long_stage = spec.stages[v].work() / total > config.work_threshold;
+    const bool hungry = spec.stages[v].mem_req > config.mem_threshold;
+    if (long_stage || hungry) out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+Action GrapheneScheduler::schedule(const ClusterEnv& env) {
+  const auto& jobs = env.jobs();
+  troublesome_.resize(jobs.size());
+
+  // Weighted fair targets, as in WeightedFairScheduler.
+  std::vector<int> active;
+  double total_weight = 0.0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!jobs[j].arrived || jobs[j].done()) continue;
+    active.push_back(static_cast<int>(j));
+    total_weight +=
+        std::pow(std::max(jobs[j].spec.total_work(), 1e-9), config_.alpha);
+  }
+  if (active.empty()) return Action::none();
+  auto target = [&](int j) {
+    const double w = std::pow(
+        std::max(jobs[static_cast<std::size_t>(j)].spec.total_work(), 1e-9),
+        config_.alpha);
+    return std::max(1, static_cast<int>(std::floor(
+                           env.total_executors() * w / std::max(total_weight, 1e-12))));
+  };
+
+  const auto runnable = env.runnable_nodes();
+  if (runnable.empty()) return Action::none();
+
+  // Classify candidates: a troublesome node is eligible only when its job's
+  // entire troublesome group is currently runnable or already finished.
+  auto group_ready = [&](int j) {
+    auto& memo = troublesome_[static_cast<std::size_t>(j)];
+    if (!memo) {
+      const auto t = troublesome_stages(jobs[static_cast<std::size_t>(j)].spec, config_);
+      memo.emplace(t.begin(), t.end());
+    }
+    for (int v : *memo) {
+      const auto& st = jobs[static_cast<std::size_t>(j)].stages[static_cast<std::size_t>(v)];
+      const bool finished_or_running = st.waiting == 0;
+      if (!st.runnable() && !finished_or_running) return false;
+    }
+    return true;
+  };
+  auto is_troublesome = [&](const NodeRef& n) {
+    auto& memo = troublesome_[static_cast<std::size_t>(n.job)];
+    return memo && memo->count(n.stage) > 0;
+  };
+
+  // Choose among candidates: prefer jobs under their fair-share target with
+  // the largest deficit; among a job's runnable stages prefer (a) eligible
+  // troublesome groups (schedule them together), then (b) critical-path order.
+  NodeRef best;
+  double best_key = -1e18;
+  int best_limit = 0;
+  for (const NodeRef node : runnable) {
+    const int j = node.job;
+    const bool ready = group_ready(j);
+    if (is_troublesome(node) && !ready) continue;  // suppressed
+    const int tgt = target(j);
+    const int cur = jobs[static_cast<std::size_t>(j)].executors;
+    const double deficit =
+        static_cast<double>(tgt - cur) / static_cast<double>(std::max(tgt, 1));
+    const auto cp = jobs[static_cast<std::size_t>(j)].spec.critical_path();
+    double key = deficit * 1e6 + cp[static_cast<std::size_t>(node.stage)];
+    if (is_troublesome(node) && ready) key += 1e9;  // group goes together
+    if (key > best_key) {
+      best_key = key;
+      best = node;
+      best_limit = cur < tgt ? tgt : cur + env.free_executor_count();
+    }
+  }
+  if (!best.valid()) {
+    // Everything runnable is a suppressed troublesome node; fall back to the
+    // critical-path choice so the cluster is not left idle.
+    best = runnable[0];
+    best_limit = jobs[static_cast<std::size_t>(best.job)].executors +
+                 env.free_executor_count();
+  }
+
+  Action a;
+  a.node = best;
+  a.limit = best_limit;
+  a.exec_class = best_fit_class(
+      env, jobs[static_cast<std::size_t>(best.job)]
+               .spec.stages[static_cast<std::size_t>(best.stage)]
+               .mem_req);
+  return a;
+}
+
+}  // namespace decima::sched

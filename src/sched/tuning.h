@@ -1,0 +1,40 @@
+// Hyperparameter tuning for the heuristic baselines, as the paper does:
+//  - the tuned weighted fair scheme sweeps alpha over {-2, -1.9, ..., 2}
+//    (§7.1 (5)) and keeps the value with the best average JCT;
+//  - Graphene* grid-searches its thresholds (Appendix F).
+#pragma once
+
+#include <vector>
+
+#include "sched/heuristics.h"
+#include "workload/arrivals.h"
+
+namespace decima::sched {
+
+struct TuneResult {
+  double alpha = 0.0;
+  double avg_jct = 0.0;
+};
+
+// The paper's alpha grid {-2.0, -1.9, ..., 2.0}.
+std::vector<double> alpha_grid(double step = 0.1);
+
+// Evaluates WeightedFairScheduler over `workloads` (each a full episode) for
+// every alpha in `grid` and returns the best. `coarse` grids (e.g. step 0.5)
+// keep bench runtimes small without changing the outcome (optimum ≈ -1).
+TuneResult tune_weighted_fair_alpha(
+    const sim::EnvConfig& config,
+    const std::vector<std::vector<workload::ArrivingJob>>& workloads,
+    const std::vector<double>& grid);
+
+struct GrapheneTuneResult {
+  GrapheneConfig config;
+  double avg_jct = 0.0;
+};
+
+// Grid search over Graphene*'s work/memory thresholds and alpha.
+GrapheneTuneResult tune_graphene(
+    const sim::EnvConfig& config,
+    const std::vector<std::vector<workload::ArrivingJob>>& workloads);
+
+}  // namespace decima::sched

@@ -1,0 +1,122 @@
+#include "sim/job.h"
+
+#include <algorithm>
+
+namespace decima::sim {
+
+double JobSpec::total_work() const {
+  double w = 0.0;
+  for (const StageSpec& s : stages) w += s.work();
+  return w;
+}
+
+std::vector<std::vector<int>> JobSpec::children() const {
+  std::vector<std::vector<int>> out(stages.size());
+  for (std::size_t v = 0; v < stages.size(); ++v) {
+    for (int p : stages[v].parents) {
+      out[static_cast<std::size_t>(p)].push_back(static_cast<int>(v));
+    }
+  }
+  return out;
+}
+
+std::vector<int> JobSpec::topo_order() const {
+  const std::size_t n = stages.size();
+  std::vector<int> indegree(n, 0);
+  for (const StageSpec& s : stages) {
+    (void)s;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    indegree[v] = static_cast<int>(stages[v].parents.size());
+  }
+  const auto kids = children();
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<int> frontier;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) frontier.push_back(static_cast<int>(v));
+  }
+  while (!frontier.empty()) {
+    const int v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (int c : kids[static_cast<std::size_t>(v)]) {
+      if (--indegree[static_cast<std::size_t>(c)] == 0) frontier.push_back(c);
+    }
+  }
+  return order;  // shorter than n iff cyclic; validate() reports that
+}
+
+std::vector<double> JobSpec::critical_path() const {
+  const auto order = topo_order();
+  const auto kids = children();
+  std::vector<double> cp(stages.size(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t v = static_cast<std::size_t>(*it);
+    double best_child = 0.0;
+    for (int c : kids[v]) {
+      best_child = std::max(best_child, cp[static_cast<std::size_t>(c)]);
+    }
+    cp[v] = stages[v].work() + best_child;
+  }
+  return cp;
+}
+
+double JobSpec::critical_path_duration() const {
+  const auto order = topo_order();
+  const auto kids = children();
+  std::vector<double> d(stages.size(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t v = static_cast<std::size_t>(*it);
+    double best_child = 0.0;
+    for (int c : kids[v]) {
+      best_child = std::max(best_child, d[static_cast<std::size_t>(c)]);
+    }
+    d[v] = stages[v].task_duration + best_child;
+  }
+  double best = 0.0;
+  for (double x : d) best = std::max(best, x);
+  return best;
+}
+
+bool JobSpec::validate(std::string* error) const {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = name + ": " + why;
+    return false;
+  };
+  if (stages.empty()) return fail("job has no stages");
+  for (std::size_t v = 0; v < stages.size(); ++v) {
+    const StageSpec& s = stages[v];
+    if (s.num_tasks <= 0) return fail("stage " + std::to_string(v) + " has no tasks");
+    if (s.task_duration <= 0.0) {
+      return fail("stage " + std::to_string(v) + " has non-positive duration");
+    }
+    if (s.mem_req < 0.0 || s.mem_req > 1.0) {
+      return fail("stage " + std::to_string(v) + " mem_req outside [0,1]");
+    }
+    for (int p : s.parents) {
+      if (p < 0 || static_cast<std::size_t>(p) >= stages.size()) {
+        return fail("stage " + std::to_string(v) + " has out-of-range parent");
+      }
+      if (static_cast<std::size_t>(p) == v) {
+        return fail("stage " + std::to_string(v) + " is its own parent");
+      }
+    }
+  }
+  if (topo_order().size() != stages.size()) return fail("dependency cycle");
+  return true;
+}
+
+int JobBuilder::stage(int num_tasks, double task_duration,
+                      std::vector<int> parents, double mem_req) {
+  StageSpec s;
+  s.name = spec_.name + "/s" + std::to_string(spec_.stages.size());
+  s.num_tasks = num_tasks;
+  s.task_duration = task_duration;
+  s.parents = std::move(parents);
+  s.mem_req = mem_req;
+  spec_.stages.push_back(std::move(s));
+  return static_cast<int>(spec_.stages.size()) - 1;
+}
+
+}  // namespace decima::sim

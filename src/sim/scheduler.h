@@ -1,0 +1,56 @@
+// The scheduler interface shared by every baseline heuristic and Decima.
+//
+// The environment implements the scheduling-event protocol of §5.2: on each
+// event it repeatedly asks the installed Scheduler for a two-dimensional
+// action (stage to schedule, parallelism limit for that stage's job — plus an
+// executor class in the multi-resource extension) until free executors run
+// out, no runnable stage remains, or the scheduler declines.
+#pragma once
+
+#include <string>
+
+namespace decima::sim {
+
+class ClusterEnv;
+
+// Reference to a DAG node: job index within the environment + stage index
+// within that job.
+struct NodeRef {
+  int job = -1;
+  int stage = -1;
+  bool valid() const { return job >= 0 && stage >= 0; }
+  bool operator==(const NodeRef& o) const {
+    return job == o.job && stage == o.stage;
+  }
+};
+
+// The action of §5.2: <stage v, parallelism limit l_i> (+ executor class).
+struct Action {
+  NodeRef node;
+  // Upper bound on the number of executors the node's job may hold. The
+  // environment clamps this to [current allocation + 1, total executors] so
+  // every accepted action makes progress (paper §5.2).
+  int limit = 0;
+  // Executor class to draw from; -1 lets the environment best-fit by memory.
+  int exec_class = -1;
+
+  bool valid() const { return node.valid(); }
+  static Action none() { return Action{}; }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Called once before an episode begins.
+  virtual void reset() {}
+
+  // Called repeatedly within one scheduling event while free executors and
+  // runnable stages remain. Return Action::none() to decline (leaves the
+  // remaining executors idle until the next event).
+  virtual Action schedule(const ClusterEnv& env) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace decima::sim

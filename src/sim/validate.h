@@ -1,0 +1,32 @@
+// Post-hoc validation of a simulation's task trace against the scheduling
+// invariants every correct schedule must satisfy. Used by the property-based
+// test suites to check arbitrary (scheduler, workload) combinations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster_env.h"
+
+namespace decima::sim {
+
+// Checks, for the completed environment `env`:
+//  1. every stage of every job ran exactly its num_tasks tasks;
+//  2. no executor ever ran two tasks at overlapping times;
+//  3. no task of a stage started before all tasks of all parent stages had
+//     finished (dependency correctness);
+//  4. no task started before its job arrived;
+//  5. each job's recorded finish time equals the max task end of the job;
+//  6. executor class memory always covered the stage's mem_req.
+// Returns true if all hold; otherwise false with a reason in `error`.
+bool validate_trace(const ClusterEnv& env, std::string* error = nullptr);
+
+// Lower-level entry point operating on raw data, so tests can verify the
+// validator itself against fabricated (invalid) traces.
+bool validate_trace_data(const std::vector<TaskRecord>& trace,
+                         const std::vector<JobState>& jobs,
+                         const std::vector<ExecutorClass>& classes,
+                         const std::vector<ExecutorState>& executors,
+                         std::string* error = nullptr);
+
+}  // namespace decima::sim

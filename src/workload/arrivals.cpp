@@ -1,0 +1,39 @@
+#include "workload/arrivals.h"
+
+namespace decima::workload {
+
+std::vector<sim::Time> poisson_arrivals(decima::Rng& rng, double mean_iat,
+                                        int n) {
+  std::vector<sim::Time> out;
+  out.reserve(static_cast<std::size_t>(n));
+  sim::Time t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.exponential(mean_iat);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<ArrivingJob> batched(std::vector<sim::JobSpec> jobs) {
+  std::vector<ArrivingJob> out;
+  out.reserve(jobs.size());
+  for (auto& j : jobs) out.push_back({std::move(j), 0.0});
+  return out;
+}
+
+std::vector<ArrivingJob> continuous(std::vector<sim::JobSpec> jobs,
+                                    decima::Rng& rng, double mean_iat) {
+  const auto times = poisson_arrivals(rng, mean_iat, static_cast<int>(jobs.size()));
+  std::vector<ArrivingJob> out;
+  out.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out.push_back({std::move(jobs[i]), times[i]});
+  }
+  return out;
+}
+
+void load(sim::ClusterEnv& env, const std::vector<ArrivingJob>& jobs) {
+  for (const auto& j : jobs) env.add_job(j.spec, j.arrival);
+}
+
+}  // namespace decima::workload

@@ -1,0 +1,34 @@
+// Job arrival processes: batched (all at t=0) and continuous (Poisson with a
+// configurable mean interarrival time), as used in §7.2, plus helpers to load
+// a workload into a ClusterEnv.
+#pragma once
+
+#include <vector>
+
+#include "sim/cluster_env.h"
+#include "sim/job.h"
+#include "util/rng.h"
+
+namespace decima::workload {
+
+// n Poisson arrival times with the given mean interarrival time (seconds).
+std::vector<sim::Time> poisson_arrivals(decima::Rng& rng, double mean_iat,
+                                        int n);
+
+// A workload: job specs paired with arrival times.
+struct ArrivingJob {
+  sim::JobSpec spec;
+  sim::Time arrival = 0.0;
+};
+
+// Batched arrivals: all jobs at t = 0 (§7.2 "batched arrivals").
+std::vector<ArrivingJob> batched(std::vector<sim::JobSpec> jobs);
+
+// Continuous arrivals: Poisson process over the given specs in order.
+std::vector<ArrivingJob> continuous(std::vector<sim::JobSpec> jobs,
+                                    decima::Rng& rng, double mean_iat);
+
+// Registers all jobs with the environment.
+void load(sim::ClusterEnv& env, const std::vector<ArrivingJob>& jobs);
+
+}  // namespace decima::workload

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.h"
+#include "sim/cluster_env.h"
+#include "sim/validate.h"
+
+namespace decima::sim {
+namespace {
+
+EnvConfig basic_config(int execs = 4) {
+  EnvConfig c;
+  c.num_executors = execs;
+  c.moving_delay = 0.0;
+  c.enable_moving_delay = false;
+  c.enable_wave_effect = false;
+  c.enable_inflation = false;
+  c.duration_noise = 0.0;
+  return c;
+}
+
+JobSpec one_stage_job(const std::string& name, int tasks, double dur) {
+  JobBuilder b(name);
+  b.stage(tasks, dur);
+  return b.build();
+}
+
+TEST(ClusterEnv, SingleStageRunsToCompletion) {
+  ClusterEnv env(basic_config(2));
+  env.add_job(one_stage_job("j", 4, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  EXPECT_TRUE(env.all_done());
+  // 4 tasks on 2 executors at 1s each = 2 waves = 2 seconds.
+  EXPECT_DOUBLE_EQ(env.jobs()[0].finish, 2.0);
+  EXPECT_DOUBLE_EQ(env.avg_jct(), 2.0);
+  std::string err;
+  EXPECT_TRUE(validate_trace(env, &err)) << err;
+}
+
+TEST(ClusterEnv, DependenciesGateChildStages) {
+  ClusterEnv env(basic_config(4));
+  JobBuilder b("dep");
+  const int s0 = b.stage(2, 1.0);
+  b.stage(2, 1.0, {s0});
+  env.add_job(b.build(), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  EXPECT_TRUE(env.all_done());
+  EXPECT_DOUBLE_EQ(env.jobs()[0].finish, 2.0);  // sequential stages
+  std::string err;
+  EXPECT_TRUE(validate_trace(env, &err)) << err;
+}
+
+TEST(ClusterEnv, ArrivalTimeRespected) {
+  ClusterEnv env(basic_config(2));
+  env.add_job(one_stage_job("late", 1, 1.0), 5.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  EXPECT_DOUBLE_EQ(env.jobs()[0].finish, 6.0);
+  EXPECT_DOUBLE_EQ(env.jobs()[0].jct(), 1.0);
+}
+
+TEST(ClusterEnv, MovingDelayAppliedAcrossJobs) {
+  EnvConfig c = basic_config(1);
+  c.enable_moving_delay = true;
+  c.moving_delay = 2.0;
+  ClusterEnv env(c);
+  env.add_job(one_stage_job("a", 1, 1.0), 0.0);
+  env.add_job(one_stage_job("b", 1, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  EXPECT_TRUE(env.all_done());
+  // Executor pays the 2s delay for job a (first binding) and again for b.
+  EXPECT_DOUBLE_EQ(env.jobs()[0].finish, 3.0);
+  EXPECT_DOUBLE_EQ(env.jobs()[1].finish, 6.0);
+}
+
+TEST(ClusterEnv, NoMovingDelayWithinSameJob) {
+  EnvConfig c = basic_config(1);
+  c.enable_moving_delay = true;
+  c.moving_delay = 2.0;
+  ClusterEnv env(c);
+  JobBuilder b("two-stage");
+  const int s0 = b.stage(1, 1.0);
+  b.stage(1, 1.0, {s0});
+  env.add_job(b.build(), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  // Delay paid once on first binding; the second stage reuses the local
+  // executor without a new delay: 2 + 1 + 1 = 4.
+  EXPECT_DOUBLE_EQ(env.jobs()[0].finish, 4.0);
+}
+
+TEST(ClusterEnv, FirstWaveSlowdown) {
+  EnvConfig c = basic_config(2);
+  c.enable_wave_effect = true;
+  c.first_wave_factor = 1.5;
+  ClusterEnv env(c);
+  env.add_job(one_stage_job("w", 4, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  // First wave (2 tasks) at 1.5s, second wave at 1.0s => finish at 2.5s.
+  EXPECT_DOUBLE_EQ(env.jobs()[0].finish, 2.5);
+  int first_wave = 0;
+  for (const auto& t : env.trace()) first_wave += t.first_wave ? 1 : 0;
+  EXPECT_EQ(first_wave, 2);
+}
+
+TEST(ClusterEnv, WorkInflationSlowsWideAllocations) {
+  EnvConfig c = basic_config(8);
+  c.enable_inflation = true;
+  ClusterEnv env(c);
+  JobSpec j = one_stage_job("inflate", 8, 1.0);
+  j.sweet_spot = 2.0;
+  j.inflation = 1.0;
+  env.add_job(j, 0.0);
+  sched::FifoScheduler fifo;  // grabs all 8 executors
+  env.run(fifo);
+  // With 8 executors and sweet spot 2: multiplier grows as executors bind.
+  // Whatever the exact value, it must exceed the uninflated 1s runtime.
+  EXPECT_GT(env.jobs()[0].finish, 1.0);
+  EXPECT_GT(env.jobs()[0].executed_work, 8.0);
+}
+
+TEST(ClusterEnv, ParallelismLimitCapsAllocation) {
+  // A scheduler that always sets limit 2 on the only job.
+  struct LimitTwo : Scheduler {
+    Action schedule(const ClusterEnv& env) override {
+      const auto nodes = env.runnable_nodes();
+      if (nodes.empty()) return Action::none();
+      if (env.jobs()[0].executors >= 2) return Action::none();
+      Action a;
+      a.node = nodes[0];
+      a.limit = 2;
+      return a;
+    }
+    std::string name() const override { return "limit2"; }
+  };
+  ClusterEnv env(basic_config(4));
+  env.add_job(one_stage_job("j", 8, 1.0), 0.0);
+  LimitTwo sched;
+  env.run(sched);
+  EXPECT_TRUE(env.all_done());
+  // 8 tasks at parallelism 2 => 4 waves => 4 seconds.
+  EXPECT_DOUBLE_EQ(env.jobs()[0].finish, 4.0);
+}
+
+TEST(ClusterEnv, RunnableNodesTracksFrontier) {
+  ClusterEnv env(basic_config(1));
+  JobBuilder b("f");
+  const int s0 = b.stage(1, 1.0);
+  b.stage(1, 1.0, {s0});
+  env.add_job(b.build(), 0.0);
+  // Before run: nothing arrived yet (arrival event pending).
+  EXPECT_TRUE(env.runnable_nodes().empty());
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  EXPECT_TRUE(env.runnable_nodes().empty());  // all done
+}
+
+TEST(ClusterEnv, ActionRewardPenalizesQueuedJobs) {
+  ClusterEnv env(basic_config(1));
+  env.add_job(one_stage_job("a", 1, 1.0), 0.0);
+  env.add_job(one_stage_job("b", 1, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  const auto rewards = env.action_rewards();
+  double total = 0.0;
+  for (double r : rewards) total += r;
+  // Integral of J(t): 2 jobs during [0,1), 1 job during [1,2) => -(2+1) = -3.
+  EXPECT_NEAR(total, -3.0, 1e-9);
+}
+
+TEST(ClusterEnv, MakespanRewardSumsToNegativeMakespan) {
+  ClusterEnv env(basic_config(2));
+  env.add_job(one_stage_job("a", 4, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  const auto rewards = env.action_rewards_makespan();
+  double total = 0.0;
+  for (double r : rewards) total += r;
+  EXPECT_NEAR(total, -env.makespan(), 1e-9);
+}
+
+TEST(ClusterEnv, EarlyTerminationStopsAtTau) {
+  ClusterEnv env(basic_config(1));
+  env.add_job(one_stage_job("long", 100, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo, /*until=*/10.0);
+  EXPECT_FALSE(env.all_done());
+  EXPECT_LE(env.now(), 10.0 + 1e-9);
+  // Resume to completion.
+  env.run(fifo);
+  EXPECT_TRUE(env.all_done());
+}
+
+TEST(ClusterEnv, RejectsInvalidJob) {
+  ClusterEnv env(basic_config(1));
+  JobSpec bad;
+  bad.name = "bad";
+  EXPECT_THROW(env.add_job(bad, 0.0), std::invalid_argument);
+  EXPECT_THROW(env.add_job(one_stage_job("x", 1, 1.0), -1.0),
+               std::invalid_argument);
+}
+
+TEST(ClusterEnv, RejectsBadConfig) {
+  EnvConfig c;
+  c.num_executors = 0;
+  EXPECT_THROW(ClusterEnv{c}, std::invalid_argument);
+  EnvConfig c2;
+  c2.classes.clear();
+  EXPECT_THROW(ClusterEnv{c2}, std::invalid_argument);
+}
+
+TEST(ClusterEnv, DeterministicWithSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    EnvConfig c = basic_config(3);
+    c.duration_noise = 0.3;
+    c.seed = seed;
+    ClusterEnv env(c);
+    env.add_job(one_stage_job("a", 10, 1.0), 0.0);
+    env.add_job(one_stage_job("b", 5, 2.0), 1.0);
+    sched::FifoScheduler fifo;
+    env.run(fifo);
+    return env.avg_jct();
+  };
+  EXPECT_DOUBLE_EQ(run_once(11), run_once(11));
+  EXPECT_NE(run_once(11), run_once(12));
+}
+
+TEST(ClusterEnv, LocalFreeExecutorsTracked) {
+  EnvConfig c = basic_config(2);
+  ClusterEnv env(c);
+  JobBuilder b("l");
+  const int s0 = b.stage(1, 1.0);
+  b.stage(1, 5.0, {s0});
+  env.add_job(b.build(), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  // Each stage has a single task, so exactly one executor ever served job 0
+  // and remains "local" to it after completion.
+  EXPECT_EQ(env.local_free_executors(0), 1);
+}
+
+TEST(ClusterEnv, DecisionLatenciesRecorded) {
+  ClusterEnv env(basic_config(2));
+  env.add_job(one_stage_job("j", 4, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  EXPECT_FALSE(env.decision_latencies().empty());
+}
+
+}  // namespace
+}  // namespace decima::sim

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "gnn/graph_embedding.h"
+
+namespace decima::gnn {
+namespace {
+
+// A hand-built 4-node diamond graph with distinguishable features.
+JobGraph diamond_graph(int feat_dim = 5) {
+  JobGraph g;
+  g.env_job = 0;
+  g.features = nn::Matrix(4, static_cast<std::size_t>(feat_dim));
+  for (std::size_t v = 0; v < 4; ++v) {
+    for (int f = 0; f < feat_dim; ++f) {
+      g.features(v, static_cast<std::size_t>(f)) =
+          0.1 * static_cast<double>(v + 1);
+    }
+  }
+  g.children = {{1, 2}, {3}, {3}, {}};
+  g.topo = {0, 1, 2, 3};
+  g.runnable = {true, false, false, false};
+  return g;
+}
+
+GnnConfig small_config() {
+  GnnConfig c;
+  c.feat_dim = 5;
+  c.emb_dim = 8;
+  return c;
+}
+
+TEST(GraphEmbedding, ShapesAreConsistent) {
+  Rng rng(1);
+  GraphEmbedding gnn(small_config(), rng);
+  nn::Tape tape;
+  const auto graphs = std::vector<JobGraph>{diamond_graph(), diamond_graph()};
+  const auto emb = gnn.embed(tape, graphs);
+  ASSERT_EQ(emb.node_emb.size(), 2u);
+  ASSERT_EQ(emb.node_emb[0].size(), 4u);
+  EXPECT_EQ(tape.value(emb.node_emb[0][0]).cols(), 8u);
+  ASSERT_EQ(emb.job_emb.size(), 2u);
+  EXPECT_EQ(tape.value(emb.job_emb[0]).cols(), 8u);
+  EXPECT_EQ(tape.value(emb.global_emb).cols(), 8u);
+}
+
+TEST(GraphEmbedding, DeterministicForFixedSeed) {
+  Rng rng1(9), rng2(9);
+  GraphEmbedding a(small_config(), rng1), b(small_config(), rng2);
+  nn::Tape ta, tb;
+  const auto graphs = std::vector<JobGraph>{diamond_graph()};
+  const auto ea = a.embed(ta, graphs);
+  const auto eb = b.embed(tb, graphs);
+  EXPECT_EQ(ta.value(ea.global_emb).raw(), tb.value(eb.global_emb).raw());
+}
+
+TEST(GraphEmbedding, InformationFlowsChildToParentOnly) {
+  Rng rng(3);
+  GraphEmbedding gnn(small_config(), rng);
+
+  auto leaf_change_effect = [&](std::size_t change_node,
+                                std::size_t observe_node) {
+    JobGraph base = diamond_graph();
+    nn::Tape t1;
+    const auto e1 = gnn.embed(t1, {base});
+    JobGraph mod = diamond_graph();
+    mod.features(change_node, 0) += 1.0;
+    nn::Tape t2;
+    const auto e2 = gnn.embed(t2, {mod});
+    double diff = 0.0;
+    for (std::size_t c = 0; c < 8; ++c) {
+      diff += std::abs(t1.value(e1.node_emb[0][observe_node])(0, c) -
+                       t2.value(e2.node_emb[0][observe_node])(0, c));
+    }
+    return diff;
+  };
+
+  // Perturbing the sink (node 3) changes the root (node 0) embedding...
+  EXPECT_GT(leaf_change_effect(3, 0), 1e-9);
+  // ...but perturbing the root does not change the sink's embedding.
+  EXPECT_LT(leaf_change_effect(0, 3), 1e-12);
+}
+
+TEST(GraphEmbedding, LeafEmbeddingEqualsProjection) {
+  Rng rng(5);
+  GraphEmbedding gnn(small_config(), rng);
+  nn::Tape tape;
+  std::vector<nn::Var> proj;
+  const JobGraph g = diamond_graph();
+  const auto emb = gnn.embed_nodes(tape, g, &proj);
+  // Node 3 has no children: e_3 == proj(x_3).
+  EXPECT_EQ(tape.value(emb[3]).raw(), tape.value(proj[3]).raw());
+  // Node 0 has children: embeddings differ from the projection.
+  double diff = 0.0;
+  for (std::size_t c = 0; c < 8; ++c) {
+    diff += std::abs(tape.value(emb[0])(0, c) - tape.value(proj[0])(0, c));
+  }
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(GraphEmbedding, SingleLevelAblationDiffers) {
+  Rng rng1(7), rng2(7);
+  GnnConfig two = small_config();
+  GnnConfig one = small_config();
+  one.two_level_aggregation = false;
+  GraphEmbedding g2(two, rng1), g1(one, rng2);
+  nn::Tape t1, t2;
+  const auto e2 = g2.embed(t1, {diamond_graph()});
+  const auto e1 = g1.embed(t2, {diamond_graph()});
+  double diff = 0.0;
+  for (std::size_t c = 0; c < 8; ++c) {
+    diff += std::abs(t1.value(e2.node_emb[0][0])(0, c) -
+                     t2.value(e1.node_emb[0][0])(0, c));
+  }
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(GraphEmbedding, GradientsReachAllTransforms) {
+  Rng rng(11);
+  GraphEmbedding gnn(small_config(), rng);
+  auto params = gnn.param_set();
+  params.zero_grads();
+  nn::Tape tape;
+  const auto emb = gnn.embed(tape, {diamond_graph()});
+  // Scalar loss touching node, job, and global embeddings.
+  nn::Var loss = tape.element(
+      tape.concat_cols({emb.node_emb[0][0], emb.job_emb[0], emb.global_emb}),
+      0, 0);
+  nn::Var loss2 = tape.element(emb.global_emb, 0, 3);
+  tape.backward(tape.add(loss, loss2));
+  int with_grad = 0;
+  for (const auto* p : params.params()) {
+    if (p->grad.squared_norm() > 0.0) ++with_grad;
+  }
+  // Every transform (proj, f/g node, f/g job, f/g global) has weight params
+  // receiving gradient; biases of late layers may be zero-grad by chance,
+  // so just require a solid majority of parameter tensors to be touched.
+  EXPECT_GT(with_grad, static_cast<int>(params.params().size()) / 2);
+}
+
+TEST(GraphEmbedding, ParamCountIsSmall) {
+  // The paper's model is ~12.7k parameters; ours is the same order.
+  Rng rng(1);
+  GraphEmbedding gnn(small_config(), rng);
+  auto params = gnn.param_set();
+  EXPECT_GT(params.num_parameters(), 1000u);
+  EXPECT_LT(params.num_parameters(), 30000u);
+}
+
+// Property sweep: embeddings are finite for random DAG shapes.
+class RandomDagEmbed : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagEmbed, ProducesFiniteEmbeddings) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = rng.uniform_int(1, 12);
+  JobGraph g;
+  g.env_job = 0;
+  g.features = nn::Matrix(static_cast<std::size_t>(n), 5);
+  for (double& v : g.features.raw()) v = rng.uniform(-1, 1);
+  g.children.resize(static_cast<std::size_t>(n));
+  for (int v = 1; v < n; ++v) {
+    const int p = rng.uniform_int(0, v - 1);
+    g.children[static_cast<std::size_t>(p)].push_back(v);
+  }
+  g.topo.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) g.topo[static_cast<std::size_t>(v)] = v;
+  g.runnable.assign(static_cast<std::size_t>(n), true);
+
+  Rng init(99);
+  GraphEmbedding gnn(small_config(), init);
+  nn::Tape tape;
+  const auto emb = gnn.embed(tape, {g});
+  for (double v : tape.value(emb.global_emb).raw()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  for (const auto& e : emb.node_emb[0]) {
+    for (double v : tape.value(e).raw()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RandomDagEmbed, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace decima::gnn

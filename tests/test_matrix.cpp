@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "nn/matrix.h"
+
+namespace decima::nn {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, RowVector) {
+  const Matrix r = Matrix::row_vector({1.0, 2.0, 3.0});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  EXPECT_DOUBLE_EQ(r(0, 2), 3.0);
+}
+
+TEST(Matrix, Matmul) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.matmul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposedMatmulMatchesExplicit) {
+  Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  // a^T b: (2x3)(3x2) = 2x2
+  const Matrix c = a.transposed_matmul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  // a^T = [[1,3,5],[2,4,6]]
+  EXPECT_DOUBLE_EQ(c(0, 0), 1 * 7 + 3 * 9 + 5 * 11);
+  EXPECT_DOUBLE_EQ(c(1, 1), 2 * 8 + 4 * 10 + 6 * 12);
+}
+
+TEST(Matrix, MatmulTransposed) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(2, 3, {7, 8, 9, 10, 11, 12});
+  // a b^T: 2x2
+  const Matrix c = a.matmul_transposed(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1 * 7 + 2 * 8 + 3 * 9);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4 * 7 + 5 * 8 + 6 * 9);
+}
+
+TEST(Matrix, AddAndAxpy) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {10, 20, 30});
+  a.add_in_place(b);
+  EXPECT_DOUBLE_EQ(a(0, 2), 33.0);
+  a.axpy(0.5, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 11.0 + 5.0);
+}
+
+TEST(Matrix, SumAndNorm) {
+  Matrix a(1, 3, {3, 4, 0});
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(a.squared_norm(), 25.0);
+}
+
+TEST(Matrix, FillZero) {
+  Matrix a(2, 2, 5.0);
+  a.zero();
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+  a.fill(2.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 8.0);
+}
+
+TEST(Matrix, ShapeChecks) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  Matrix c(3, 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+  EXPECT_EQ(a.shape_str(), "2x3");
+}
+
+}  // namespace
+}  // namespace decima::nn

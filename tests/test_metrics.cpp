@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.h"
+#include "metrics/timeseries.h"
+#include "sched/heuristics.h"
+
+namespace decima::metrics {
+namespace {
+
+sim::EnvConfig config(int execs) {
+  sim::EnvConfig c;
+  c.num_executors = execs;
+  c.enable_moving_delay = false;
+  c.enable_wave_effect = false;
+  c.enable_inflation = false;
+  return c;
+}
+
+sim::JobSpec job(const std::string& name, int tasks, double dur) {
+  sim::JobBuilder b(name);
+  b.stage(tasks, dur);
+  return b.build();
+}
+
+TEST(RunEpisode, SummarizesCompletedRun) {
+  sched::FifoScheduler fifo;
+  const auto w = workload::batched({job("a", 2, 1.0), job("b", 2, 1.0)});
+  const auto r = run_episode(config(2), w, fifo);
+  EXPECT_TRUE(r.all_done);
+  EXPECT_EQ(r.jobs_completed, 2);
+  EXPECT_EQ(r.jobs_total, 2);
+  EXPECT_GT(r.avg_jct, 0.0);
+  EXPECT_GE(r.makespan, r.jcts[0]);
+}
+
+TEST(RunEpisode, PartialRunReportsIncomplete) {
+  sched::FifoScheduler fifo;
+  const auto w = workload::batched({job("long", 100, 1.0)});
+  const auto r = run_episode(config(1), w, fifo, /*until=*/5.0);
+  EXPECT_FALSE(r.all_done);
+  EXPECT_EQ(r.jobs_completed, 0);
+}
+
+TEST(ConcurrentJobs, TracksArrivalsAndDepartures) {
+  sim::ClusterEnv env(config(1));
+  env.add_job(job("a", 2, 1.0), 0.0);   // runs [0, 2)
+  env.add_job(job("b", 2, 1.0), 1.0);   // queued, runs [2, 4)
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  const auto series = concurrent_jobs_series(env, 0.5);
+  ASSERT_FALSE(series.empty());
+  // At t=1.5 both jobs are in the system.
+  EXPECT_DOUBLE_EQ(series[3], 2.0);
+  // After t=4 none are.
+  EXPECT_DOUBLE_EQ(series.back(), 0.0);
+}
+
+TEST(MeanExecutors, MatchesAllocation) {
+  sim::ClusterEnv env(config(4));
+  env.add_job(job("a", 8, 1.0), 0.0);  // 4 executors, 2 waves
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  const auto mean_execs = mean_executors_per_job(env);
+  ASSERT_EQ(mean_execs.size(), 1u);
+  EXPECT_NEAR(mean_execs[0], 4.0, 1e-9);
+}
+
+TEST(ExecutedWork, MatchesSpecWithoutInflation) {
+  sim::ClusterEnv env(config(2));
+  env.add_job(job("a", 4, 1.5), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  const auto work = executed_work_per_job(env);
+  EXPECT_NEAR(work[0], 6.0, 1e-9);
+}
+
+TEST(ClassUsage, CountsTasksPerClass) {
+  sim::EnvConfig c = config(4);
+  c.classes = {{0.5, "s"}, {1.0, "l"}};
+  sim::ClusterEnv env(c);
+  env.add_job(job("a", 4, 1.0), 0.0);
+  sched::TetrisScheduler tetris;
+  env.run(tetris);
+  const auto usage = class_usage_per_job(env);
+  ASSERT_EQ(usage.size(), 1u);
+  ASSERT_EQ(usage[0].size(), 2u);
+  EXPECT_EQ(usage[0][0] + usage[0][1], 4);
+}
+
+TEST(Gantt, RendersGrid) {
+  sim::ClusterEnv env(config(3));
+  env.add_job(job("a", 6, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  const std::string g = ascii_gantt(env, 40);
+  EXPECT_NE(g.find('A'), std::string::npos);
+  // 3 executor rows + legend line.
+  EXPECT_EQ(std::count(g.begin(), g.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace decima::metrics

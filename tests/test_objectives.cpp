@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "rl/objectives.h"
+#include "sched/heuristics.h"
+
+namespace decima::rl {
+namespace {
+
+sim::EnvConfig config(int execs) {
+  sim::EnvConfig c;
+  c.num_executors = execs;
+  c.enable_moving_delay = false;
+  c.enable_wave_effect = false;
+  c.enable_inflation = false;
+  return c;
+}
+
+sim::JobSpec job(const std::string& name, int tasks, double dur) {
+  sim::JobBuilder b(name);
+  b.stage(tasks, dur);
+  return b.build();
+}
+
+// Runs two 1-task jobs sequentially on one executor: a at [0,1), b at [1,2).
+sim::ClusterEnv two_sequential_jobs() {
+  sim::ClusterEnv env(config(1));
+  env.add_job(job("a", 1, 1.0), 0.0);
+  env.add_job(job("b", 1, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo);
+  return env;
+}
+
+TEST(Objectives, RewardVectorsAlignWithActions) {
+  const auto env = two_sequential_jobs();
+  const std::size_t k = env.action_times().size();
+  EXPECT_EQ(avg_jct_rewards(env).size(), k + 1);
+  EXPECT_EQ(makespan_rewards(env).size(), k + 1);
+  EXPECT_EQ(tail_jct_rewards(env).size(), k + 1);
+  EXPECT_EQ(deadline_rewards(env, DeadlineConfig{}).size(), k + 1);
+}
+
+TEST(Objectives, TailRewardTotalsSumOfSquaredJctsOverTwo) {
+  const auto env = two_sequential_jobs();
+  const auto rewards = tail_jct_rewards(env);
+  double total = 0.0;
+  for (double r : rewards) total += r;
+  // Job a: JCT 1 -> 0.5; job b: JCT 2 -> 2.0. Total age integral = 2.5.
+  EXPECT_NEAR(total, -2.5, 1e-9);
+}
+
+TEST(Objectives, TailPenalizesLongJobsSuperlinearly) {
+  // One job of JCT 4 accumulates more age-penalty than four jobs of JCT 1.
+  sim::ClusterEnv env1(config(1));
+  env1.add_job(job("long", 4, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env1.run(fifo);
+  double long_total = 0.0;
+  for (double r : tail_jct_rewards(env1)) long_total += r;
+
+  sim::ClusterEnv env2(config(4));
+  for (int i = 0; i < 4; ++i) env2.add_job(job("s", 1, 1.0), 0.0);
+  sched::FifoScheduler fifo2;
+  env2.run(fifo2);
+  double short_total = 0.0;
+  for (double r : tail_jct_rewards(env2)) short_total += r;
+
+  EXPECT_LT(long_total, short_total);  // more negative = worse
+}
+
+TEST(Objectives, DeadlineMissAddsPenalty) {
+  // One executor, two jobs: the second job (JCT 2, critical path 1s) misses
+  // a tight deadline.
+  DeadlineConfig tight;
+  tight.slack = 1.5;  // deadline = 1.5s < JCT 2s for job b
+  tight.miss_penalty = 50.0;
+  const auto env = two_sequential_jobs();
+  const auto with_deadline = deadline_rewards(env, tight);
+  const auto base = avg_jct_rewards(env);
+  double dead_total = 0.0, base_total = 0.0;
+  for (double r : with_deadline) dead_total += r;
+  for (double r : base) base_total += r;
+  EXPECT_NEAR(dead_total, base_total - 50.0, 1e-9);
+}
+
+TEST(Objectives, GenerousDeadlineAddsNothing) {
+  DeadlineConfig lax;
+  lax.slack = 100.0;
+  const auto env = two_sequential_jobs();
+  const auto with_deadline = deadline_rewards(env, lax);
+  const auto base = avg_jct_rewards(env);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with_deadline[i], base[i]);
+  }
+}
+
+TEST(Objectives, HitRateCountsMetDeadlines) {
+  DeadlineConfig cfg;
+  cfg.slack = 1.5;  // job a (JCT 1) meets it; job b (JCT 2) misses
+  const auto env = two_sequential_jobs();
+  EXPECT_NEAR(deadline_hit_rate(env, cfg), 0.5, 1e-12);
+  cfg.slack = 100.0;
+  EXPECT_NEAR(deadline_hit_rate(env, cfg), 1.0, 1e-12);
+}
+
+TEST(Objectives, UnfinishedJobsCountedByTail) {
+  sim::ClusterEnv env(config(1));
+  env.add_job(job("long", 100, 1.0), 0.0);
+  sched::FifoScheduler fifo;
+  env.run(fifo, /*until=*/10.0);
+  ASSERT_FALSE(env.all_done());
+  const auto rewards = tail_jct_rewards(env);
+  double total = 0.0;
+  for (double r : rewards) total += r;
+  // Age integral of one job over [0, 10] = 50.
+  EXPECT_NEAR(total, -50.0, 1e-6);
+}
+
+TEST(Objectives, MakespanMatchesEnvHelper) {
+  const auto env = two_sequential_jobs();
+  const auto a = makespan_rewards(env);
+  const auto b = env.action_rewards_makespan();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace decima::rl

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "workload/arrivals.h"
+#include "workload/tpch.h"
+#include "workload/trace.h"
+
+namespace decima::workload {
+namespace {
+
+TEST(Tpch, TemplatesAreDeterministic) {
+  const auto a = make_tpch_job(9, 100);
+  const auto b = make_tpch_job(9, 100);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t v = 0; v < a.stages.size(); ++v) {
+    EXPECT_EQ(a.stages[v].num_tasks, b.stages[v].num_tasks);
+    EXPECT_DOUBLE_EQ(a.stages[v].task_duration, b.stages[v].task_duration);
+    EXPECT_EQ(a.stages[v].parents, b.stages[v].parents);
+  }
+  EXPECT_DOUBLE_EQ(a.sweet_spot, b.sweet_spot);
+}
+
+TEST(Tpch, AllTemplatesValid) {
+  for (int q = 1; q <= kNumTpchQueries; ++q) {
+    for (double size : tpch_sizes()) {
+      std::string err;
+      EXPECT_TRUE(make_tpch_job(q, size).validate(&err))
+          << "q" << q << " size " << size << ": " << err;
+    }
+  }
+}
+
+TEST(Tpch, WorkGrowsWithInputSize) {
+  for (int q : {2, 9, 17}) {
+    EXPECT_LT(make_tpch_job(q, 2).total_work(),
+              make_tpch_job(q, 100).total_work());
+  }
+}
+
+TEST(Tpch, SweetSpotGrowsWithInputSize) {
+  const auto small = make_tpch_job(9, 2);
+  const auto large = make_tpch_job(9, 100);
+  EXPECT_LT(small.sweet_spot, large.sweet_spot);
+  // Fig. 2's anchors: Q9@100GB scales further than Q2@100GB.
+  EXPECT_GT(make_tpch_job(9, 100).sweet_spot, make_tpch_job(2, 100).sweet_spot);
+}
+
+TEST(Tpch, HeavyTailedWorkMix) {
+  // The paper's batched mix: 23% of jobs contain ~82% of total work (§7.2).
+  Rng rng(3);
+  const auto jobs = sample_tpch_batch(rng, 500);
+  const double share = work_share_of_top(jobs, 0.23);
+  EXPECT_GT(share, 0.6);
+  EXPECT_LE(share, 0.98);
+}
+
+TEST(Tpch, IdealRuntimeHasSweetSpot) {
+  // Runtime decreases up to the sweet spot and stops improving (or worsens)
+  // well beyond it — the Fig. 2 shape.
+  const auto job = make_tpch_job(2, 100);
+  const double r1 = ideal_runtime_at_parallelism(job, 1);
+  const double r_sweet =
+      ideal_runtime_at_parallelism(job, static_cast<int>(job.sweet_spot));
+  const double r_over = ideal_runtime_at_parallelism(job, 100);
+  EXPECT_LT(r_sweet, r1);
+  EXPECT_GE(r_over, r_sweet * 0.95);
+}
+
+TEST(Tpch, MemoryRequestsInUnitRange) {
+  auto job = make_tpch_job(5, 20);
+  Rng rng(1);
+  assign_memory_requests(job, rng);
+  for (const auto& s : job.stages) {
+    EXPECT_GT(s.mem_req, 0.0);
+    EXPECT_LE(s.mem_req, 1.0);
+  }
+}
+
+TEST(Tpch, SampleRespectsCatalog) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto j = sample_tpch_job(rng);
+    EXPECT_TRUE(j.validate());
+    EXPECT_EQ(j.name.rfind("tpch-q", 0), 0u);
+  }
+}
+
+TEST(Arrivals, PoissonMeanMatches) {
+  Rng rng(7);
+  const auto times = poisson_arrivals(rng, 10.0, 5000);
+  ASSERT_EQ(times.size(), 5000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i], times[i - 1]);
+  }
+  EXPECT_NEAR(times.back() / 5000.0, 10.0, 0.5);
+}
+
+TEST(Arrivals, BatchedAllAtZero) {
+  Rng rng(1);
+  auto jobs = sample_tpch_batch(rng, 5);
+  const auto w = batched(std::move(jobs));
+  for (const auto& j : w) EXPECT_DOUBLE_EQ(j.arrival, 0.0);
+}
+
+TEST(Arrivals, ContinuousSortedTimes) {
+  Rng rng(2);
+  auto jobs = sample_tpch_batch(rng, 10);
+  Rng arr(3);
+  const auto w = continuous(std::move(jobs), arr, 5.0);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_GE(w[i].arrival, w[i - 1].arrival);
+  }
+}
+
+TEST(Trace, MatchesAggregateShape) {
+  TraceConfig cfg;
+  cfg.num_jobs = 2000;
+  cfg.seed = 42;
+  const auto trace = synthesize_trace(cfg);
+  ASSERT_EQ(trace.size(), 2000u);
+  const auto stats = trace_stats(trace);
+  // 59% of DAGs have >= 4 stages (§7.3), some have hundreds.
+  EXPECT_NEAR(stats.frac_ge4_stages, 0.59, 0.05);
+  EXPECT_GE(stats.max_stages, 50);
+  EXPECT_LE(stats.max_stages, 200);
+  for (const auto& j : trace) {
+    std::string err;
+    ASSERT_TRUE(j.spec.validate(&err)) << err;
+  }
+}
+
+TEST(Trace, ArrivalsSortedAndBursty) {
+  TraceConfig cfg;
+  cfg.num_jobs = 1000;
+  cfg.burstiness = 0.8;
+  const auto trace = synthesize_trace(cfg);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+  }
+}
+
+TEST(Trace, MemoryRequestsPresent) {
+  TraceConfig cfg;
+  cfg.num_jobs = 100;
+  const auto trace = synthesize_trace(cfg);
+  int with_mem = 0;
+  for (const auto& j : trace) {
+    for (const auto& s : j.spec.stages) {
+      if (s.mem_req > 0) ++with_mem;
+    }
+  }
+  EXPECT_GT(with_mem, 0);
+}
+
+TEST(Trace, Deterministic) {
+  TraceConfig cfg;
+  cfg.num_jobs = 50;
+  cfg.seed = 9;
+  const auto a = synthesize_trace(cfg);
+  const auto b = synthesize_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].spec.stages.size(), b[i].spec.stages.size());
+  }
+}
+
+}  // namespace
+}  // namespace decima::workload
