@@ -1,6 +1,12 @@
 #include "bench_common.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
 
 namespace decima::bench {
 
@@ -72,6 +78,90 @@ std::vector<double> eval_runs(sim::Scheduler& sched,
     out.push_back(rl::evaluate_avg_jct(sched, env, w));
   }
   return out;
+}
+
+LatencyStats latency_from_samples(std::vector<double> samples_us) {
+  LatencyStats out;
+  if (samples_us.empty()) return out;
+  std::sort(samples_us.begin(), samples_us.end());
+  out.median_us = samples_us[samples_us.size() / 2];
+  out.p95_us = samples_us[std::min(samples_us.size() - 1,
+                                   samples_us.size() * 95 / 100)];
+  out.samples = samples_us.size();
+  return out;
+}
+
+LatencyStats time_reps(int reps, const std::function<void()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  return latency_from_samples(std::move(samples));
+}
+
+sim::Action TimedScheduler::schedule(const sim::ClusterEnv& env) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Action a = inner_.schedule(env);
+  const auto t1 = std::chrono::steady_clock::now();
+  samples_us_.push_back(
+      std::chrono::duration<double, std::micro>(t1 - t0).count());
+  return a;
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setfill('0') << std::setw(4)
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+}  // namespace
+
+void BenchJson::set(const std::string& key, double value) {
+  std::ostringstream os;
+  if (std::isfinite(value)) {
+    os.precision(12);
+    os << value;
+  } else {
+    os << "null";  // NaN/Inf are not valid JSON tokens
+  }
+  entries_.emplace_back(key, os.str());
+}
+
+void BenchJson::set(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+std::string BenchJson::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "{\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out << "  \"" << json_escape(entries_[i].first)
+        << "\": " << entries_[i].second
+        << (i + 1 < entries_.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  return out ? path : "";
 }
 
 }  // namespace decima::bench

@@ -12,6 +12,8 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "metrics/experiment.h"
 #include "rl/reinforce.h"
@@ -51,5 +53,47 @@ std::vector<double> eval_runs(sim::Scheduler& sched,
                               const sim::EnvConfig& env,
                               const rl::WorkloadSampler& sampler, int runs,
                               std::uint64_t seed_base = 900000);
+
+// --- Machine-readable benchmark output --------------------------------------
+
+// Wall-clock latency of `fn` over `reps` repetitions (microseconds).
+struct LatencyStats {
+  double median_us = 0.0;
+  double p95_us = 0.0;
+  std::size_t samples = 0;
+};
+LatencyStats latency_from_samples(std::vector<double> samples_us);
+LatencyStats time_reps(int reps, const std::function<void()>& fn);
+
+// Scheduler decorator that records the wall-clock latency of every
+// schedule() call — measures per-event inference cost over a real episode.
+class TimedScheduler : public sim::Scheduler {
+ public:
+  explicit TimedScheduler(sim::Scheduler& inner) : inner_(inner) {}
+  sim::Action schedule(const sim::ClusterEnv& env) override;
+  void reset() override { inner_.reset(); }
+  std::string name() const override { return inner_.name(); }
+  LatencyStats stats() const { return latency_from_samples(samples_us_); }
+
+ private:
+  sim::Scheduler& inner_;
+  std::vector<double> samples_us_;
+};
+
+// Flat key/value metrics written as BENCH_<name>.json alongside the stdout
+// tables, so successive PRs accumulate a machine-comparable perf trajectory.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+  void set(const std::string& key, double value);
+  void set(const std::string& key, const std::string& value);
+  // Writes BENCH_<name>.json in the working directory; returns the path
+  // (empty on I/O error).
+  std::string write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;  // pre-rendered
+};
 
 }  // namespace decima::bench

@@ -22,6 +22,7 @@ DecimaAgent::DecimaAgent(const AgentConfig& config)
             g.feat_dim = config.features.dim();
             g.emb_dim = config.emb_dim;
             g.two_level_aggregation = config.two_level_aggregation;
+            g.batched = config.batched_inference;
             return g;
           }(),
           init_rng_),
@@ -141,20 +142,25 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
   const bool train = mode_ == Mode::kReplay;
   nn::Tape tape(/*track_gradients=*/train);
 
-  // Embeddings (or zero stand-ins for the no-GNN ablation).
+  // Embeddings (or zero stand-ins for the no-GNN ablation), consumed in
+  // batched form: one n x emb_dim matrix per graph, one row per job summary,
+  // one global row.
+  const std::size_t d = static_cast<std::size_t>(config_.emb_dim);
   std::optional<gnn::Embeddings> emb;
-  nn::Var zero_emb = tape.constant(
-      nn::Matrix(1, static_cast<std::size_t>(config_.emb_dim)));
   if (config_.use_gnn) emb = gnn_.embed(tape, graphs);
-  auto node_emb = [&](int g, int v) {
-    return config_.use_gnn
-               ? (*emb).node_emb[static_cast<std::size_t>(g)][static_cast<std::size_t>(v)]
-               : zero_emb;
-  };
-  auto job_emb = [&](int g) {
-    return config_.use_gnn ? (*emb).job_emb[static_cast<std::size_t>(g)] : zero_emb;
-  };
-  nn::Var glob = config_.use_gnn ? (*emb).global_emb : zero_emb;
+  std::vector<nn::Var> node_mats(graphs.size());
+  nn::Var job_mat, glob;
+  if (config_.use_gnn) {
+    node_mats = emb->node_mat;
+    job_mat = emb->job_mat;
+    glob = emb->global_emb;
+  } else {
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+      node_mats[g] = tape.constant(nn::Matrix(graphs[g].features.rows(), d));
+    }
+    job_mat = tape.constant(nn::Matrix(graphs.size(), d));
+    glob = tape.constant(nn::Matrix(1, d));
+  }
 
   // Raw feature rows (the q function sees x_v alongside the embeddings, so
   // the no-GNN ablation still has the raw signal).
@@ -164,17 +170,30 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
   }
 
   // --- Stage selection: softmax over q(x_v, e_v, y_i, z) -------------------
-  std::vector<nn::Var> node_scores;
-  node_scores.reserve(candidates.size());
-  for (const Candidate& c : candidates) {
-    const nn::Var x =
-        tape.row(feature_rows[static_cast<std::size_t>(c.graph)],
-                 static_cast<std::size_t>(c.node));
-    const nn::Var in =
-        tape.concat_cols({x, node_emb(c.graph, c.node), job_emb(c.graph), glob});
-    node_scores.push_back(q_.apply(tape, in));
+  // Candidates are generated in graph order, so each graph's candidates form
+  // a contiguous run; gather them into per-graph blocks and score all
+  // candidates with a single q pass over one candidates x (feat + 3d) matrix.
+  std::vector<nn::Var> blocks;
+  for (std::size_t start = 0; start < candidates.size();) {
+    const std::size_t g = static_cast<std::size_t>(candidates[start].graph);
+    std::vector<std::size_t> picks;
+    std::size_t i = start;
+    for (; i < candidates.size() &&
+           static_cast<std::size_t>(candidates[i].graph) == g;
+         ++i) {
+      picks.push_back(static_cast<std::size_t>(candidates[i].node));
+    }
+    const std::size_t m = picks.size();
+    const nn::Var x = tape.rows(feature_rows[g], picks);
+    const nn::Var e = tape.rows(node_mats[g], std::move(picks));
+    blocks.push_back(
+        tape.concat_cols({x, e, tape.broadcast_row(job_mat, g, m),
+                          tape.broadcast_row(glob, 0, m)}));
+    start = i;
   }
-  const nn::Var node_logits = tape.concat_scalars(node_scores);
+  const nn::Var q_in =
+      blocks.size() == 1 ? blocks[0] : tape.concat_rows(blocks);
+  const nn::Var node_logits = tape.as_row(q_.apply(tape, q_in));
   const std::vector<double> node_probs = tape.softmax_values(node_logits);
   const int node_choice =
       pick(node_probs, replayed ? replayed->node_choice : 0);
@@ -193,8 +212,9 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
       limit_values.push_back(l);
     }
     assert(!limit_values.empty());
+    const std::size_t cg = static_cast<std::size_t>(chosen.graph);
     if (config_.limit_encoding == LimitEncoding::kSeparateOutputs) {
-      const nn::Var in = tape.concat_cols({job_emb(chosen.graph), glob});
+      const nn::Var in = tape.concat_cols({tape.row(job_mat, cg), glob});
       const nn::Var all = w_sep_.apply(tape, in);
       std::vector<nn::Var> scores;
       scores.reserve(limit_values.size());
@@ -205,22 +225,26 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
       }
       limit_logits = tape.concat_scalars(scores);
     } else {
-      std::vector<nn::Var> scores;
-      scores.reserve(limit_values.size());
-      for (int l : limit_values) {
-        nn::Matrix lfeat(1, 1);
-        lfeat(0, 0) = static_cast<double>(l) / static_cast<double>(total_execs);
-        const nn::Var lvar = tape.constant(std::move(lfeat));
-        std::vector<nn::Var> parts;
-        if (config_.limit_encoding == LimitEncoding::kStageLevel) {
-          parts = {node_emb(chosen.graph, chosen.node), job_emb(chosen.graph),
-                   glob, lvar};
-        } else {
-          parts = {job_emb(chosen.graph), glob, lvar};
-        }
-        scores.push_back(w_.apply(tape, tape.concat_cols(parts)));
+      // All candidate limits scored in one w pass: the rows differ only in
+      // the scalar limit feature, so broadcast the embedding columns.
+      const std::size_t nl = limit_values.size();
+      nn::Matrix lfeat(nl, 1);
+      for (std::size_t i = 0; i < nl; ++i) {
+        lfeat(i, 0) = static_cast<double>(limit_values[i]) /
+                      static_cast<double>(total_execs);
       }
-      limit_logits = tape.concat_scalars(scores);
+      const nn::Var lvar = tape.constant(std::move(lfeat));
+      std::vector<nn::Var> parts;
+      if (config_.limit_encoding == LimitEncoding::kStageLevel) {
+        parts = {tape.broadcast_row(node_mats[cg],
+                                    static_cast<std::size_t>(chosen.node), nl),
+                 tape.broadcast_row(job_mat, cg, nl),
+                 tape.broadcast_row(glob, 0, nl), lvar};
+      } else {
+        parts = {tape.broadcast_row(job_mat, cg, nl),
+                 tape.broadcast_row(glob, 0, nl), lvar};
+      }
+      limit_logits = tape.as_row(w_.apply(tape, tape.concat_cols(parts)));
     }
     const std::vector<double> limit_probs = tape.softmax_values(limit_logits);
     limit_choice = pick(limit_probs, replayed ? replayed->limit_choice : 0);
@@ -235,19 +259,20 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
   if (multi_class) {
     class_values = valid_classes(
         chosen_job.spec.stages[static_cast<std::size_t>(chosen.ref.stage)].mem_req);
-    std::vector<nn::Var> scores;
-    scores.reserve(class_values.size());
-    for (int c : class_values) {
-      nn::Matrix cfeat(1, 2);
-      cfeat(0, 0) = classes[static_cast<std::size_t>(c)].mem;
-      cfeat(0, 1) =
-          static_cast<double>(env.free_executor_count_of_class(c)) /
-          static_cast<double>(total_execs);
-      const nn::Var cvar = tape.constant(std::move(cfeat));
-      scores.push_back(class_head_.apply(
-          tape, tape.concat_cols({job_emb(chosen.graph), glob, cvar})));
+    // One class_head pass over all valid classes.
+    const std::size_t nc = class_values.size();
+    const std::size_t cg = static_cast<std::size_t>(chosen.graph);
+    nn::Matrix cfeat(nc, 2);
+    for (std::size_t i = 0; i < nc; ++i) {
+      const int c = class_values[i];
+      cfeat(i, 0) = classes[static_cast<std::size_t>(c)].mem;
+      cfeat(i, 1) = static_cast<double>(env.free_executor_count_of_class(c)) /
+                    static_cast<double>(total_execs);
     }
-    class_logits = tape.concat_scalars(scores);
+    const nn::Var cvar = tape.constant(std::move(cfeat));
+    class_logits = tape.as_row(class_head_.apply(
+        tape, tape.concat_cols({tape.broadcast_row(job_mat, cg, nc),
+                                tape.broadcast_row(glob, 0, nc), cvar})));
     const std::vector<double> class_probs = tape.softmax_values(class_logits);
     class_choice = pick(class_probs, replayed ? replayed->class_choice : 0);
     exec_class = class_values[static_cast<std::size_t>(class_choice)];

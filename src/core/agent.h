@@ -37,6 +37,9 @@ struct AgentConfig {
   bool parallelism_control = true;
   LimitEncoding limit_encoding = LimitEncoding::kScalarInput;
   bool multi_resource = false;  // adds the executor-class head (§7.3)
+  // false falls back to the one-node-at-a-time GNN sweep (the pre-batching
+  // reference path; used by equivalence tests and latency benchmarks).
+  bool batched_inference = true;
   // Limits are discretized in steps of this size to keep the limit softmax
   // small on big clusters (1 = every integer limit).
   int limit_step = 1;

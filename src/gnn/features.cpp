@@ -1,5 +1,9 @@
 #include "gnn/features.h"
 
+#include <algorithm>
+
+#include "util/rng.h"
+
 namespace decima::gnn {
 
 std::vector<JobGraph> extract_graphs(const sim::ClusterEnv& env,
@@ -38,6 +42,30 @@ std::vector<JobGraph> extract_graphs(const sim::ClusterEnv& env,
     out.push_back(std::move(g));
   }
   return out;
+}
+
+JobGraph random_job_graph(std::uint64_t seed, int num_nodes, int feat_dim) {
+  Rng rng(seed);
+  JobGraph g;
+  g.env_job = 0;
+  g.features = nn::Matrix(static_cast<std::size_t>(num_nodes),
+                          static_cast<std::size_t>(feat_dim));
+  for (double& v : g.features.raw()) v = rng.uniform(-1, 1);
+  g.children.resize(static_cast<std::size_t>(num_nodes));
+  for (int v = 1; v < num_nodes; ++v) {
+    const int parents = rng.uniform_int(1, 3);
+    for (int e = 0; e < parents; ++e) {
+      const int p = rng.uniform_int(0, v - 1);
+      auto& kids = g.children[static_cast<std::size_t>(p)];
+      if (std::find(kids.begin(), kids.end(), v) == kids.end()) {
+        kids.push_back(v);
+      }
+    }
+  }
+  g.topo.resize(static_cast<std::size_t>(num_nodes));
+  for (int v = 0; v < num_nodes; ++v) g.topo[static_cast<std::size_t>(v)] = v;
+  g.runnable.assign(static_cast<std::size_t>(num_nodes), true);
+  return g;
 }
 
 }  // namespace decima::gnn

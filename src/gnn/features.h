@@ -44,4 +44,9 @@ std::vector<JobGraph> extract_graphs(const sim::ClusterEnv& env,
                                      const FeatureConfig& config,
                                      double observed_iat = 0.0);
 
+// A seeded random DAG with uniform [-1, 1) features: node v > 0 gets 1-3
+// distinct parents among earlier nodes, topo order 0..n-1, all runnable.
+// Synthetic input for GNN equivalence tests and latency benchmarks.
+JobGraph random_job_graph(std::uint64_t seed, int num_nodes, int feat_dim = 5);
+
 }  // namespace decima::gnn

@@ -1,8 +1,37 @@
 #include "gnn/graph_embedding.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace decima::gnn {
+
+namespace {
+
+// Groups nodes by message-passing depth: level 0 = leaves (no children), and
+// every node's children sit at strictly lower levels. All nodes of one level
+// are independent, so each level is evaluated as one batched matrix.
+std::vector<std::vector<std::size_t>> levelize(const JobGraph& graph) {
+  const std::size_t n = graph.features.rows();
+  std::vector<int> depth(n, 0);
+  int max_depth = 0;
+  for (auto it = graph.topo.rbegin(); it != graph.topo.rend(); ++it) {
+    const std::size_t v = static_cast<std::size_t>(*it);
+    int d = 0;
+    for (int u : graph.children[v]) {
+      d = std::max(d, depth[static_cast<std::size_t>(u)] + 1);
+    }
+    depth[v] = d;
+    max_depth = std::max(max_depth, d);
+  }
+  std::vector<std::vector<std::size_t>> levels(
+      static_cast<std::size_t>(max_depth) + 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    levels[static_cast<std::size_t>(depth[v])].push_back(v);
+  }
+  return levels;
+}
+
+}  // namespace
 
 GraphEmbedding::GraphEmbedding(const GnnConfig& config, decima::Rng& rng)
     : config_(config),
@@ -29,7 +58,46 @@ GraphEmbedding::GraphEmbedding(const GnnConfig& config, decima::Rng& rng)
   g_glob_.init(rng);
 }
 
-std::vector<nn::Var> GraphEmbedding::embed_nodes(
+nn::Var GraphEmbedding::embed_nodes_batched(
+    nn::Tape& tape, const JobGraph& graph, nn::Var* proj_mat,
+    std::vector<nn::Var>* node_rows) const {
+  const std::size_t n = graph.features.rows();
+  const nn::Var x = tape.constant(graph.features);
+  const nn::Var P = proj_.apply(tape, x);  // one batched lift for all nodes
+
+  // Leaves-to-roots sweep (Fig. 5a), one level at a time: the messages
+  // f(e_u) of every edge into the level run as a single matmul chain, then a
+  // segment-sum aggregates them per destination node.
+  const auto levels = levelize(graph);
+  std::vector<nn::Var> emb(n);
+  for (std::size_t v : levels[0]) emb[v] = tape.row(P, v);
+  for (std::size_t L = 1; L < levels.size(); ++L) {
+    const auto& level = levels[L];
+    std::vector<nn::Var> child_rows;
+    std::vector<std::size_t> seg;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      for (int u : graph.children[level[i]]) {
+        child_rows.push_back(emb[static_cast<std::size_t>(u)]);
+        seg.push_back(i);
+      }
+    }
+    const nn::Var C = tape.concat_rows(child_rows);
+    const nn::Var F = f_node_.apply(tape, C);
+    nn::Var agg = tape.segment_sum_rows(F, std::move(seg), level.size());
+    if (config_.two_level_aggregation) agg = g_node_.apply(tape, agg);
+    const nn::Var level_emb = tape.add(agg, tape.rows(P, level));
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      emb[level[i]] = tape.row(level_emb, i);
+    }
+  }
+
+  const nn::Var E = tape.concat_rows(emb);
+  if (proj_mat) *proj_mat = P;
+  if (node_rows) *node_rows = std::move(emb);
+  return E;
+}
+
+std::vector<nn::Var> GraphEmbedding::embed_nodes_reference(
     nn::Tape& tape, const JobGraph& graph,
     std::vector<nn::Var>* proj_out) const {
   const std::size_t n = graph.features.rows();
@@ -61,41 +129,100 @@ std::vector<nn::Var> GraphEmbedding::embed_nodes(
   return emb;
 }
 
+std::vector<nn::Var> GraphEmbedding::embed_nodes(
+    nn::Tape& tape, const JobGraph& graph,
+    std::vector<nn::Var>* proj_out) const {
+  if (!config_.batched) return embed_nodes_reference(tape, graph, proj_out);
+  nn::Var proj_mat;
+  std::vector<nn::Var> rows;
+  embed_nodes_batched(tape, graph, &proj_mat, &rows);
+  if (proj_out) {
+    const std::size_t n = graph.features.rows();
+    proj_out->resize(n);
+    for (std::size_t v = 0; v < n; ++v) (*proj_out)[v] = tape.row(proj_mat, v);
+  }
+  return rows;
+}
+
 Embeddings GraphEmbedding::embed(nn::Tape& tape,
                                  const std::vector<JobGraph>& graphs) const {
+  assert(!graphs.empty());
   Embeddings out;
+  out.node_mat.reserve(graphs.size());
+  out.proj_mat.reserve(graphs.size());
   out.node_emb.reserve(graphs.size());
   out.proj.reserve(graphs.size());
   out.job_emb.reserve(graphs.size());
 
-  for (const JobGraph& g : graphs) {
-    std::vector<nn::Var> proj;
-    out.node_emb.push_back(embed_nodes(tape, g, &proj));
-    out.proj.push_back(std::move(proj));
-
-    // Per-job summary: the DAG-level summary node takes every node of the
-    // DAG as a child (Fig. 5b squares); its inputs are [proj(x_v), e_v].
+  if (!config_.batched) {
+    // Reference path: the original one-node-at-a-time implementation at every
+    // level (the "before" of the latency benchmarks); the batched matrices
+    // are assembled afterwards so both paths expose the same interface.
+    std::vector<nn::Var> job_rows;
+    for (const JobGraph& g : graphs) {
+      std::vector<nn::Var> proj;
+      out.node_emb.push_back(embed_nodes_reference(tape, g, &proj));
+      out.proj.push_back(std::move(proj));
+      std::vector<nn::Var> messages;
+      messages.reserve(out.node_emb.back().size());
+      for (std::size_t v = 0; v < out.node_emb.back().size(); ++v) {
+        const nn::Var joined =
+            tape.concat_cols({out.proj.back()[v], out.node_emb.back()[v]});
+        messages.push_back(f_job_.apply(tape, joined));
+      }
+      nn::Var agg = tape.addn(messages);
+      if (config_.two_level_aggregation) agg = g_job_.apply(tape, agg);
+      job_rows.push_back(agg);
+      out.node_mat.push_back(tape.concat_rows(out.node_emb.back()));
+      out.proj_mat.push_back(tape.concat_rows(out.proj.back()));
+    }
     std::vector<nn::Var> messages;
-    messages.reserve(out.node_emb.back().size());
-    for (std::size_t v = 0; v < out.node_emb.back().size(); ++v) {
-      const nn::Var joined =
-          tape.concat_cols({out.proj.back()[v], out.node_emb.back()[v]});
-      messages.push_back(f_job_.apply(tape, joined));
+    messages.reserve(job_rows.size());
+    for (const nn::Var& y : job_rows) {
+      messages.push_back(f_glob_.apply(tape, y));
     }
     nn::Var agg = tape.addn(messages);
-    if (config_.two_level_aggregation) agg = g_job_.apply(tape, agg);
-    out.job_emb.push_back(agg);
+    if (config_.two_level_aggregation) agg = g_glob_.apply(tape, agg);
+    out.global_emb = agg;
+    out.job_emb = std::move(job_rows);
+    out.job_mat = tape.concat_rows(out.job_emb);
+    return out;
+  }
+
+  // Per-graph aggregates, stacked so g' / f'' / g'' each run once over all
+  // jobs instead of once per job.
+  std::vector<nn::Var> job_aggs;
+  job_aggs.reserve(graphs.size());
+
+  for (const JobGraph& g : graphs) {
+    nn::Var P;
+    std::vector<nn::Var> node_rows;
+    const nn::Var E = embed_nodes_batched(tape, g, &P, &node_rows);
+    out.node_mat.push_back(E);
+    out.proj_mat.push_back(P);
+    out.node_emb.push_back(std::move(node_rows));
+    // proj row views are left empty on the batched path: no batched consumer
+    // reads them (slice proj_mat instead), and materializing n views per
+    // graph would tax every scheduling event.
+    out.proj.emplace_back();
+
+    // Per-job summary: the DAG-level summary node takes every node of the
+    // DAG as a child (Fig. 5b squares); its inputs are [proj(x_v), e_v],
+    // batched as one n x 2d matrix through f'.
+    const nn::Var joined = tape.concat_cols({P, E});
+    job_aggs.push_back(tape.sum_rows(f_job_.apply(tape, joined)));
+  }
+
+  nn::Var job_stack = tape.concat_rows(job_aggs);
+  if (config_.two_level_aggregation) job_stack = g_job_.apply(tape, job_stack);
+  out.job_mat = job_stack;
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    out.job_emb.push_back(tape.row(out.job_mat, g));
   }
 
   // Global summary: the cluster-level node takes every DAG summary as a
-  // child (Fig. 5b triangle).
-  std::vector<nn::Var> messages;
-  messages.reserve(out.job_emb.size());
-  for (const nn::Var& y : out.job_emb) {
-    messages.push_back(f_glob_.apply(tape, y));
-  }
-  assert(!messages.empty());
-  nn::Var agg = tape.addn(messages);
+  // child (Fig. 5b triangle); f'' runs once over the stacked job rows.
+  nn::Var agg = tape.sum_rows(f_glob_.apply(tape, out.job_mat));
   if (config_.two_level_aggregation) agg = g_glob_.apply(tape, agg);
   out.global_emb = agg;
   return out;

@@ -27,16 +27,26 @@ struct GnnConfig {
   int emb_dim = 8;
   bool two_level_aggregation = true;  // false = Fig. 19 ablation
   std::vector<std::size_t> hidden = {32, 16};  // §6.1's layer sizes
+  // true (default) evaluates each message-passing level as one row-batched
+  // matrix per MLP; false keeps the original one-node-at-a-time reference
+  // implementation (used by equivalence tests and latency benchmarks).
+  bool batched = true;
 };
 
 // The embeddings produced for one state observation.
 struct Embeddings {
-  // node_emb[g][v] — per-node embedding e_v for graph g (1 x emb_dim each).
-  std::vector<std::vector<nn::Var>> node_emb;
-  // proj[g][v] — projected node features (inputs to per-job summaries).
+  // Batched forms: all rows of one level in a single matrix.
+  std::vector<nn::Var> node_mat;  // per graph, n_g x emb_dim (row v = e_v)
+  std::vector<nn::Var> proj_mat;  // per graph, n_g x emb_dim (row v = proj x_v)
+  nn::Var job_mat;                // num_graphs x emb_dim (row i = y_i)
+  nn::Var global_emb;             // z, 1 x emb_dim
+  // Per-node / per-job row views (slices of the batched forms above), for
+  // call sites that address a single node or job.
+  std::vector<std::vector<nn::Var>> node_emb;  // node_emb[g][v] = e_v
+  // proj[g][v] — populated by the reference path only; the batched path
+  // leaves it empty (slice proj_mat on demand instead).
   std::vector<std::vector<nn::Var>> proj;
-  std::vector<nn::Var> job_emb;  // y_i per graph
-  nn::Var global_emb;            // z
+  std::vector<nn::Var> job_emb;                // y_i per graph
 };
 
 class GraphEmbedding {
@@ -54,6 +64,16 @@ class GraphEmbedding {
   const GnnConfig& config() const { return config_; }
 
  private:
+  // Batched per-node sweep: returns the n x emb_dim node matrix; also exposes
+  // the n x emb_dim projection matrix and per-node row views.
+  nn::Var embed_nodes_batched(nn::Tape& tape, const JobGraph& graph,
+                              nn::Var* proj_mat,
+                              std::vector<nn::Var>* node_rows) const;
+  // Original one-node-at-a-time sweep (config_.batched = false).
+  std::vector<nn::Var> embed_nodes_reference(
+      nn::Tape& tape, const JobGraph& graph,
+      std::vector<nn::Var>* proj_out) const;
+
   GnnConfig config_;
   nn::Mlp proj_;    // feat_dim -> emb_dim feature lift
   nn::Mlp f_node_, g_node_;

@@ -235,6 +235,118 @@ Var Tape::element(Var a, std::size_t r, std::size_t c) {
   })};
 }
 
+Var Tape::concat_rows(const std::vector<Var>& xs) {
+  assert(!xs.empty());
+  const std::size_t cols = value(xs[0]).cols();
+  std::size_t rows = 0;
+  bool ng = false;
+  for (Var v : xs) {
+    assert(value(v).cols() == cols);
+    rows += value(v).rows();
+    ng = ng || node(v).needs_grad;
+  }
+  Matrix out(rows, cols);
+  std::size_t r0 = 0;
+  for (Var v : xs) {
+    const Matrix& m = value(v);
+    std::copy(m.raw().begin(), m.raw().end(), out.raw().begin() + static_cast<std::ptrdiff_t>(r0 * cols));
+    r0 += m.rows();
+  }
+  std::vector<int> idxs;
+  idxs.reserve(xs.size());
+  for (Var v : xs) idxs.push_back(v.idx);
+  return Var{push(std::move(out), ng, [idxs](Tape& t, Node& self) {
+    std::size_t r0 = 0;
+    for (int i : idxs) {
+      Node& ni = t.nodes_[i];
+      const std::size_t nr = ni.value.rows();
+      if (ni.needs_grad) {
+        for (std::size_t r = 0; r < nr; ++r) {
+          for (std::size_t c = 0; c < ni.value.cols(); ++c) {
+            ni.grad(r, c) += self.grad(r0 + r, c);
+          }
+        }
+      }
+      r0 += nr;
+    }
+  })};
+}
+
+Var Tape::rows(Var a, std::vector<std::size_t> picks) {
+  const Matrix& A = value(a);
+  Matrix out(picks.size(), A.cols());
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    assert(picks[i] < A.rows());
+    for (std::size_t c = 0; c < A.cols(); ++c) out(i, c) = A(picks[i], c);
+  }
+  const int ai = a.idx;
+  return Var{push(std::move(out), node(a).needs_grad,
+                  [ai, picks = std::move(picks)](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    for (std::size_t i = 0; i < picks.size(); ++i) {
+      for (std::size_t c = 0; c < self.grad.cols(); ++c) {
+        na.grad(picks[i], c) += self.grad(i, c);
+      }
+    }
+  })};
+}
+
+Var Tape::segment_sum_rows(Var a, std::vector<std::size_t> seg,
+                           std::size_t num_segments) {
+  const Matrix& A = value(a);
+  assert(seg.size() == A.rows());
+  Matrix out(num_segments, A.cols());
+  for (std::size_t r = 0; r < A.rows(); ++r) {
+    assert(seg[r] < num_segments);
+    for (std::size_t c = 0; c < A.cols(); ++c) out(seg[r], c) += A(r, c);
+  }
+  const int ai = a.idx;
+  return Var{push(std::move(out), node(a).needs_grad,
+                  [ai, seg = std::move(seg)](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    for (std::size_t r = 0; r < na.value.rows(); ++r) {
+      for (std::size_t c = 0; c < self.grad.cols(); ++c) {
+        na.grad(r, c) += self.grad(seg[r], c);
+      }
+    }
+  })};
+}
+
+Var Tape::broadcast_row(Var a, std::size_t r, std::size_t n) {
+  const Matrix& A = value(a);
+  assert(r < A.rows());
+  Matrix out(n, A.cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < A.cols(); ++c) out(i, c) = A(r, c);
+  }
+  const int ai = a.idx;
+  return Var{push(std::move(out), node(a).needs_grad,
+                  [ai, r](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    for (std::size_t i = 0; i < self.grad.rows(); ++i) {
+      for (std::size_t c = 0; c < self.grad.cols(); ++c) {
+        na.grad(r, c) += self.grad(i, c);
+      }
+    }
+  })};
+}
+
+Var Tape::as_row(Var a) {
+  const Matrix& A = value(a);
+  Matrix out(1, A.size(), A.raw());
+  const int ai = a.idx;
+  return Var{push(std::move(out), node(a).needs_grad, [ai](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    for (std::size_t i = 0; i < self.grad.raw().size(); ++i) {
+      na.grad.raw()[i] += self.grad.raw()[i];
+    }
+  })};
+}
+
 Var Tape::log_prob_pick(Var logits, std::size_t pick) {
   const Matrix& L = value(logits);
   assert(L.rows() == 1 && pick < L.cols());

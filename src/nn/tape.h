@@ -67,6 +67,19 @@ class Tape {
   Var sum_rows(Var a);                          // n x m -> 1 x m
   Var element(Var a, std::size_t r, std::size_t c);  // 1 x 1 slice
 
+  // --- Row-batched shape ops -------------------------------------------------
+  // These let callers assemble one large n x m operand (a single matmul per
+  // MLP layer) instead of n separate 1 x m tape nodes — the batched GNN and
+  // policy-scoring hot paths are built on them.
+  Var concat_rows(const std::vector<Var>& xs);  // all same col count; vstack
+  // Gather: out row i = a row picks[i] (repeats allowed).
+  Var rows(Var a, std::vector<std::size_t> picks);
+  // out(seg[r], :) += a(r, :) for every row r; out has num_segments rows.
+  Var segment_sum_rows(Var a, std::vector<std::size_t> seg,
+                       std::size_t num_segments);
+  Var broadcast_row(Var a, std::size_t r, std::size_t n);  // tile row r, n rows
+  Var as_row(Var a);  // row-major reshape to 1 x size (e.g. n x 1 -> logits)
+
   // --- Losses ---------------------------------------------------------------
   // log softmax(logits)[pick]; logits is 1 x n. Returns a 1 x 1 scalar.
   Var log_prob_pick(Var logits, std::size_t pick);
