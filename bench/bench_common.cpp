@@ -66,6 +66,29 @@ rl::WorkloadSampler tpch_continuous_sampler(int num_jobs, double mean_iat) {
   };
 }
 
+std::vector<sim::JobSpec> random_dag_jobs(int num_jobs, int num_nodes,
+                                          std::uint64_t seed, int feat_dim) {
+  std::vector<sim::JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(num_jobs));
+  for (int i = 0; i < num_jobs; ++i) {
+    const auto dag = gnn::random_job_graph(
+        seed + static_cast<std::uint64_t>(i), num_nodes, feat_dim);
+    std::vector<std::vector<int>> parents(static_cast<std::size_t>(num_nodes));
+    for (int p = 0; p < num_nodes; ++p) {
+      for (int child : dag.children[static_cast<std::size_t>(p)]) {
+        parents[static_cast<std::size_t>(child)].push_back(p);
+      }
+    }
+    sim::JobBuilder b("dag" + std::to_string(i));
+    for (int s = 0; s < num_nodes; ++s) {
+      b.stage(2, 1.0, std::move(parents[static_cast<std::size_t>(s)]),
+              /*mem_req=*/0.25);
+    }
+    jobs.push_back(b.build());
+  }
+  return jobs;
+}
+
 std::vector<double> eval_runs(sim::Scheduler& sched,
                               const sim::EnvConfig& env,
                               const rl::WorkloadSampler& sampler, int runs,

@@ -47,6 +47,16 @@ std::unique_ptr<core::DecimaAgent> trained_agent(
 rl::WorkloadSampler tpch_batch_sampler(int num_jobs);
 rl::WorkloadSampler tpch_continuous_sampler(int num_jobs, double mean_iat);
 
+// Jobs whose DAG topology is a seeded random `num_nodes`-stage graph (job i
+// uses gnn::random_job_graph(seed + i, num_nodes, feat_dim)): 2 tasks per
+// stage, 1s mean duration, mem_req 0.25. The 50-node-DAG profiling workload
+// of BENCH_fig12 / BENCH_train. feat_dim must match the graphs being
+// profiled alongside — the RNG draws features before edges, so it shifts
+// the topology too.
+std::vector<sim::JobSpec> random_dag_jobs(int num_jobs, int num_nodes,
+                                          std::uint64_t seed,
+                                          int feat_dim = 5);
+
 // Evaluation over `runs` held-out workloads (seeds disjoint from training,
 // which forks seeds from the trainer's master seed).
 std::vector<double> eval_runs(sim::Scheduler& sched,

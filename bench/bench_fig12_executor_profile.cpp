@@ -55,26 +55,13 @@ void inference_profile(core::DecimaAgent& trained,
   agent_ref.set_mode(core::Mode::kGreedy);
 
   // Agent level over a real episode: batch arrivals of kGraphs jobs with
-  // exactly the DAG topologies profiled above, then time every schedule()
-  // call of a full greedy run. While a job is unfinished its whole
-  // kNodes-node DAG is embedded at every event, so this measures per-event
-  // inference on the same graphs as the GNN profile.
-  std::vector<sim::JobSpec> jobs;
-  for (int i = 0; i < kGraphs; ++i) {
-    const auto& dag = graphs[static_cast<std::size_t>(i)];
-    std::vector<std::vector<int>> parents(static_cast<std::size_t>(kNodes));
-    for (int p = 0; p < kNodes; ++p) {
-      for (int child : dag.children[static_cast<std::size_t>(p)]) {
-        parents[static_cast<std::size_t>(child)].push_back(p);
-      }
-    }
-    sim::JobBuilder b("profile" + std::to_string(i));
-    for (int s = 0; s < kNodes; ++s) {
-      b.stage(2, 1.0, std::move(parents[static_cast<std::size_t>(s)]),
-              /*mem_req=*/0.25);
-    }
-    jobs.push_back(b.build());
-  }
+  // exactly the DAG topologies profiled above (random_dag_jobs re-derives
+  // them from the same seeds), then time every schedule() call of a full
+  // greedy run. While a job is unfinished its whole kNodes-node DAG is
+  // embedded at every event, so this measures per-event inference on the
+  // same graphs as the GNN profile.
+  const std::vector<sim::JobSpec> jobs =
+      bench::random_dag_jobs(kGraphs, kNodes, 100, cfg.feat_dim);
   auto timed_episode = [&](sim::Scheduler& agent) {
     sim::ClusterEnv cluster(env_config);
     workload::load(cluster, workload::batched(jobs));

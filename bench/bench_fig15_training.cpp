@@ -12,7 +12,8 @@ int main() {
   bench::print_header(
       "Figure 15 (§7.4)",
       "(a) learning curves per parallelism-limit encoding; (b) scheduling\n"
-      "delay vs scheduling-event interval CDFs.");
+      "delay vs scheduling-event interval CDFs; (c) training throughput\n"
+      "with episode-batched vs per-action replay (writes BENCH_train.json).");
 
   sim::EnvConfig env;
   env.num_executors = 10;
@@ -99,5 +100,90 @@ int main() {
                "policy's inference latency is negligible. Our simulated\n"
                "event intervals are simulated time; the latency column is\n"
                "real wall-clock inference cost of the C++ model.\n";
+
+  // ---------------- (c) training throughput ---------------------------------
+  // The 50-node-DAG workload of the fig. 12 latency profile, now trained:
+  // per-phase wall-clock of Algorithm 1 with the episode-batched replay
+  // (AgentConfig::batched_replay, one tape + one backward per episode) vs
+  // the one-tape-per-action reference loop. Seeds the BENCH_train.json perf
+  // trajectory. Both runs are seed-identical, so they replay the same
+  // episodes and differ only in how the gradients are computed.
+  constexpr int kDagJobs = 5;
+  constexpr int kDagNodes = 50;
+  const auto profile_jobs = bench::random_dag_jobs(kDagJobs, kDagNodes, 100);
+  const rl::WorkloadSampler dag_sampler = [profile_jobs](std::uint64_t) {
+    return workload::batched(profile_jobs);
+  };
+  sim::EnvConfig tenv;
+  tenv.num_executors = 10;
+  const int titers = std::max(3, bench::train_iters(50) / 10);
+  struct Phases {
+    double rollout = 0.0, replay = 0.0, step = 0.0, total = 0.0;
+    int actions = 0;
+  };
+  auto time_training = [&](bool batched_replay) {
+    core::AgentConfig ac;
+    ac.seed = 37;
+    ac.batched_replay = batched_replay;
+    core::DecimaAgent agent(ac);
+    rl::TrainConfig tcfg;
+    tcfg.episodes_per_iter = 4;
+    tcfg.num_threads = 4;
+    tcfg.curriculum = false;
+    tcfg.differential_reward = false;
+    tcfg.env = tenv;
+    tcfg.sampler = dag_sampler;
+    rl::ReinforceTrainer trainer(agent, tcfg);
+    Phases p;
+    for (int i = 0; i < titers; ++i) {
+      const auto s = trainer.iterate();
+      p.rollout += s.rollout_seconds;
+      p.replay += s.replay_seconds;
+      p.step += s.step_seconds;
+      p.actions += s.total_actions;
+    }
+    p.total = p.rollout + p.replay + p.step;
+    return p;
+  };
+  const Phases ref = time_training(false);
+  const Phases bat = time_training(true);
+  const double replay_speedup = ref.replay / std::max(bat.replay, 1e-12);
+  const double iters_per_sec_ref =
+      static_cast<double>(titers) / std::max(ref.total, 1e-12);
+  const double iters_per_sec_bat =
+      static_cast<double>(titers) / std::max(bat.total, 1e-12);
+
+  Table t_thr({"replay path", "rollout [s]", "replay [s]", "step [s]",
+               "iters/sec"});
+  t_thr.add_row({"per-action (reference)", fmt(ref.rollout, 2),
+                 fmt(ref.replay, 2), fmt(ref.step, 3),
+                 fmt(iters_per_sec_ref, 2)});
+  t_thr.add_row({"episode-batched", fmt(bat.rollout, 2), fmt(bat.replay, 2),
+                 fmt(bat.step, 3), fmt(iters_per_sec_bat, 2)});
+  std::cout << "\n(c) training throughput, " << titers << " iterations x 4 "
+            << "episodes on " << kDagJobs << "x" << kDagNodes
+            << "-node DAGs (" << ref.actions << " actions replayed)\n"
+            << t_thr.to_string()
+            << "replay-phase speedup: " << fmt(replay_speedup, 2) << "x\n";
+
+  bench::BenchJson json("train");
+  json.set("bench", "fig15_training");
+  json.set("dag_nodes", static_cast<double>(kDagNodes));
+  json.set("dag_jobs", static_cast<double>(kDagJobs));
+  json.set("iterations", static_cast<double>(titers));
+  json.set("episodes_per_iter", 4.0);
+  json.set("actions_replayed", static_cast<double>(ref.actions));
+  json.set("reference_rollout_s", ref.rollout);
+  json.set("reference_replay_s", ref.replay);
+  json.set("reference_step_s", ref.step);
+  json.set("reference_iters_per_sec", iters_per_sec_ref);
+  json.set("batched_rollout_s", bat.rollout);
+  json.set("batched_replay_s", bat.replay);
+  json.set("batched_step_s", bat.step);
+  json.set("batched_iters_per_sec", iters_per_sec_bat);
+  json.set("replay_speedup", replay_speedup);
+  json.set("iters_per_sec_speedup", iters_per_sec_bat / std::max(iters_per_sec_ref, 1e-12));
+  const std::string path = json.write();
+  if (!path.empty()) std::cout << "\n[bench] wrote " << path << "\n";
   return 0;
 }

@@ -67,11 +67,31 @@ std::vector<RecordedAction> DecimaAgent::take_recorded() {
 void DecimaAgent::start_replay(std::vector<RecordedAction> actions,
                                std::vector<double> weights,
                                double entropy_weight) {
+  // Leftover snapshots mean the previous batched replay was never finished —
+  // its tail chunk (< replay_batch events) contributed no gradients. Fail
+  // loudly instead of silently training on partial gradients.
+  assert(replay_events_.empty() &&
+         "batched replay not finished: call finish_replay() after env.run()");
+  replay_events_.clear();
   replay_actions_ = std::move(actions);
   replay_weights_ = std::move(weights);
   entropy_weight_ = entropy_weight;
   replay_cursor_ = 0;
   mode_ = Mode::kReplay;
+}
+
+void DecimaAgent::finish_replay() {
+  score_replay_events(replay_events_);
+  replay_events_.clear();
+}
+
+void DecimaAgent::score_replay_events(std::vector<ReplayEvent>& events) {
+  const std::size_t chunk = config_.replay_batch > 0
+                                ? static_cast<std::size_t>(config_.replay_batch)
+                                : events.size();
+  for (std::size_t begin = 0; begin < events.size(); begin += chunk) {
+    score_replay_batch(events, begin, std::min(begin + chunk, events.size()));
+  }
 }
 
 int DecimaAgent::pick(const std::vector<double>& probs, int recorded_choice) {
@@ -100,8 +120,7 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
     replayed = &replay_actions_[replay_cursor_];
   }
 
-  const auto graphs =
-      gnn::extract_graphs(env, config_.features, observed_iat_);
+  auto graphs = gnn::extract_graphs(env, config_.features, observed_iat_);
   if (graphs.empty()) return sim::Action::none();
 
   const int total_execs = env.total_executors();
@@ -117,6 +136,35 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
       out.push_back(static_cast<int>(c));
     }
     return out;
+  };
+
+  // Candidate parallelism limits for the chosen job, and the raw feature
+  // blocks of the limit / class heads (shared by the scoring paths and the
+  // batched-replay snapshots).
+  auto limit_values_for = [&](const sim::JobState& job) {
+    std::vector<int> out;
+    for (int l = job.executors + 1; l <= total_execs; l += config_.limit_step) {
+      out.push_back(l);
+    }
+    return out;
+  };
+  auto limit_feature_col = [&](const std::vector<int>& values) {
+    nn::Matrix lfeat(values.size(), 1);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      lfeat(i, 0) =
+          static_cast<double>(values[i]) / static_cast<double>(total_execs);
+    }
+    return lfeat;
+  };
+  auto class_feature_mat = [&](const std::vector<int>& values) {
+    nn::Matrix cfeat(values.size(), 2);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const int c = values[i];
+      cfeat(i, 0) = classes[static_cast<std::size_t>(c)].mem;
+      cfeat(i, 1) = static_cast<double>(env.free_executor_count_of_class(c)) /
+                    static_cast<double>(total_execs);
+    }
+    return cfeat;
   };
 
   // Candidate set A_t: runnable nodes of jobs that can still take executors
@@ -138,6 +186,47 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
     }
   }
   if (candidates.empty()) return sim::Action::none();
+
+  if (mode_ == Mode::kReplay && config_.batched_replay) {
+    // Batched replay, phase 1: the action is already recorded, so no scoring
+    // is needed to drive the environment — snapshot the event (graphs,
+    // candidate set, head inputs, advantage) and move on. finish_replay()
+    // scores every snapshot on one tape and runs a single backward pass.
+    ReplayEvent ev;
+    ev.node_choice = replayed->node_choice;
+    ev.limit_choice = replayed->limit_choice;
+    ev.class_choice = replayed->class_choice;
+    const Candidate& chosen =
+        candidates[static_cast<std::size_t>(ev.node_choice)];
+    ev.chosen_graph = chosen.graph;
+    ev.chosen_node = chosen.node;
+    const auto& chosen_job =
+        env.jobs()[static_cast<std::size_t>(chosen.ref.job)];
+    if (config_.parallelism_control) {
+      ev.limit_values = limit_values_for(chosen_job);
+      assert(!ev.limit_values.empty() && ev.limit_choice >= 0);
+      ev.limit_feat = limit_feature_col(ev.limit_values);
+    }
+    if (multi_class) {
+      const std::vector<int> class_values = valid_classes(
+          chosen_job.spec.stages[static_cast<std::size_t>(chosen.ref.stage)]
+              .mem_req);
+      assert(!class_values.empty() && ev.class_choice >= 0);
+      ev.class_feat = class_feature_mat(class_values);
+    }
+    ev.weight = replay_weights_[replay_cursor_];
+    ev.graphs = std::move(graphs);
+    ev.candidates = std::move(candidates);
+    replay_events_.push_back(std::move(ev));
+    ++replay_cursor_;
+    if (config_.replay_batch > 0 &&
+        replay_events_.size() >=
+            static_cast<std::size_t>(config_.replay_batch)) {
+      score_replay_batch(replay_events_, 0, replay_events_.size());
+      replay_events_.clear();
+    }
+    return replayed->action;
+  }
 
   const bool train = mode_ == Mode::kReplay;
   nn::Tape tape(/*track_gradients=*/train);
@@ -207,10 +296,7 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
   std::vector<int> limit_values;
   nn::Var limit_logits;
   if (config_.parallelism_control) {
-    for (int l = chosen_job.executors + 1; l <= total_execs;
-         l += config_.limit_step) {
-      limit_values.push_back(l);
-    }
+    limit_values = limit_values_for(chosen_job);
     assert(!limit_values.empty());
     const std::size_t cg = static_cast<std::size_t>(chosen.graph);
     if (config_.limit_encoding == LimitEncoding::kSeparateOutputs) {
@@ -228,12 +314,7 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
       // All candidate limits scored in one w pass: the rows differ only in
       // the scalar limit feature, so broadcast the embedding columns.
       const std::size_t nl = limit_values.size();
-      nn::Matrix lfeat(nl, 1);
-      for (std::size_t i = 0; i < nl; ++i) {
-        lfeat(i, 0) = static_cast<double>(limit_values[i]) /
-                      static_cast<double>(total_execs);
-      }
-      const nn::Var lvar = tape.constant(std::move(lfeat));
+      const nn::Var lvar = tape.constant(limit_feature_col(limit_values));
       std::vector<nn::Var> parts;
       if (config_.limit_encoding == LimitEncoding::kStageLevel) {
         parts = {tape.broadcast_row(node_mats[cg],
@@ -262,14 +343,7 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
     // One class_head pass over all valid classes.
     const std::size_t nc = class_values.size();
     const std::size_t cg = static_cast<std::size_t>(chosen.graph);
-    nn::Matrix cfeat(nc, 2);
-    for (std::size_t i = 0; i < nc; ++i) {
-      const int c = class_values[i];
-      cfeat(i, 0) = classes[static_cast<std::size_t>(c)].mem;
-      cfeat(i, 1) = static_cast<double>(env.free_executor_count_of_class(c)) /
-                    static_cast<double>(total_execs);
-    }
-    const nn::Var cvar = tape.constant(std::move(cfeat));
+    const nn::Var cvar = tape.constant(class_feature_mat(class_values));
     class_logits = tape.as_row(class_head_.apply(
         tape, tape.concat_cols({tape.broadcast_row(job_mat, cg, nc),
                                 tape.broadcast_row(glob, 0, nc), cvar})));
@@ -319,6 +393,216 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
     recorded_.push_back(rec);
   }
   return action;
+}
+
+void DecimaAgent::score_replay_batch(const std::vector<ReplayEvent>& all,
+                                     std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  const std::size_t K = end - begin;
+  const ReplayEvent* events = all.data() + begin;  // chunk window
+  const std::size_t d = static_cast<std::size_t>(config_.emb_dim);
+
+  // Flatten every event's graphs into one episode-wide list.
+  std::vector<const gnn::JobGraph*> graphs;
+  std::vector<std::size_t> event_of_graph;
+  std::vector<std::size_t> graph_base(K);  // first global graph of event t
+  for (std::size_t t = 0; t < K; ++t) {
+    graph_base[t] = graphs.size();
+    for (const auto& g : events[t].graphs) {
+      graphs.push_back(&g);
+      event_of_graph.push_back(t);
+    }
+  }
+  const std::size_t G = graphs.size();
+
+  nn::Tape tape(/*track_gradients=*/true);
+  gnn::EpisodeEmbeddings emb;
+  if (config_.use_gnn) {
+    emb = gnn_.embed_episode(tape, graphs, event_of_graph, K);
+  } else {
+    // Zero embedding stand-ins (the no-GNN ablation); q still sees raw x_v.
+    emb.node_offset.resize(G);
+    std::size_t total = 0;
+    for (std::size_t g = 0; g < G; ++g) {
+      emb.node_offset[g] = total;
+      total += graphs[g]->features.rows();
+    }
+    const std::size_t fd = static_cast<std::size_t>(config_.features.dim());
+    nn::Matrix X(total, fd);
+    for (std::size_t g = 0; g < G; ++g) {
+      std::copy(graphs[g]->features.raw().begin(),
+                graphs[g]->features.raw().end(),
+                X.raw().begin() +
+                    static_cast<std::ptrdiff_t>(emb.node_offset[g] * fd));
+    }
+    emb.feat_all = tape.constant(std::move(X));
+    emb.node_all = tape.constant(nn::Matrix(total, d));
+    emb.job_mat = tape.constant(nn::Matrix(G, d));
+    emb.global_mat = tape.constant(nn::Matrix(K, d));
+  }
+
+  // Advantage column shared by the head losses: d(loss)/d(logp_t) = -A_t.
+  nn::Matrix neg_w(K, 1);
+  for (std::size_t t = 0; t < K; ++t) neg_w(t, 0) = -events[t].weight;
+  const nn::Var neg_w_col = tape.constant(std::move(neg_w));
+  std::vector<nn::Var> loss_parts;
+
+  // --- Stage head: every candidate of every event through one q pass -------
+  std::vector<std::size_t> cand_rows, cand_graphs, cand_events;
+  std::vector<std::size_t> node_starts(K), node_picks(K);
+  for (std::size_t t = 0; t < K; ++t) {
+    node_starts[t] = cand_rows.size();
+    node_picks[t] = static_cast<std::size_t>(events[t].node_choice);
+    for (const Candidate& c : events[t].candidates) {
+      const std::size_t gg = graph_base[t] + static_cast<std::size_t>(c.graph);
+      cand_rows.push_back(emb.node_offset[gg] +
+                          static_cast<std::size_t>(c.node));
+      cand_graphs.push_back(gg);
+      cand_events.push_back(t);
+    }
+  }
+  std::vector<std::vector<std::size_t>> q_picks;
+  q_picks.push_back(cand_rows);             // x_v
+  q_picks.push_back(std::move(cand_rows));  // e_v (same rows)
+  q_picks.push_back(std::move(cand_graphs));
+  q_picks.push_back(std::move(cand_events));
+  const nn::Var q_in = tape.gather_concat_cols(
+      {emb.feat_all, emb.node_all, emb.job_mat, emb.global_mat},
+      std::move(q_picks));
+  const nn::Var q_out = q_.apply(tape, q_in);  // total candidates x 1
+  loss_parts.push_back(tape.matmul(
+      tape.log_prob_pick_segments(q_out, node_starts, std::move(node_picks)),
+      neg_w_col));
+  if (entropy_weight_ > 0.0) {
+    // Single-candidate events contribute exactly zero entropy and gradient,
+    // matching the reference path's candidates-size guard.
+    loss_parts.push_back(
+        tape.matmul(tape.entropy_segments(q_out, std::move(node_starts)),
+                    tape.constant(nn::Matrix(K, 1, -entropy_weight_))));
+  }
+
+  // --- Parallelism head -----------------------------------------------------
+  if (config_.parallelism_control) {
+    if (config_.limit_encoding == LimitEncoding::kSeparateOutputs) {
+      // One w_sep pass over the per-event [y_i, z] rows; per-event logits
+      // are picked out of the shared output exactly as the reference does.
+      std::vector<std::size_t> ev_graphs(K), ev_events(K);
+      for (std::size_t t = 0; t < K; ++t) {
+        ev_graphs[t] =
+            graph_base[t] + static_cast<std::size_t>(events[t].chosen_graph);
+        ev_events[t] = t;
+      }
+      const nn::Var all = w_sep_.apply(
+          tape, tape.gather_concat_cols(
+                    {emb.job_mat, emb.global_mat},
+                    {std::move(ev_graphs), std::move(ev_events)}));
+      std::vector<nn::Var> lps;
+      lps.reserve(K);
+      for (std::size_t t = 0; t < K; ++t) {
+        std::vector<nn::Var> scores;
+        scores.reserve(events[t].limit_values.size());
+        for (int l : events[t].limit_values) {
+          const std::size_t idx = std::min<std::size_t>(
+              static_cast<std::size_t>(l - 1), kMaxSeparateLimitOutputs - 1);
+          scores.push_back(tape.element(all, t, idx));
+        }
+        lps.push_back(tape.log_prob_pick(
+            tape.concat_scalars(scores),
+            static_cast<std::size_t>(events[t].limit_choice)));
+      }
+      loss_parts.push_back(tape.matmul(tape.concat_scalars(lps), neg_w_col));
+    } else {
+      // Every event's candidate limits stacked into one w pass.
+      std::vector<std::size_t> l_graphs, l_events, l_nodes;
+      std::vector<std::size_t> l_starts(K), l_picks(K);
+      std::size_t total_l = 0;
+      for (std::size_t t = 0; t < K; ++t) total_l += events[t].limit_values.size();
+      nn::Matrix l_all(total_l, 1);
+      std::size_t r = 0;
+      const bool stage_level =
+          config_.limit_encoding == LimitEncoding::kStageLevel;
+      for (std::size_t t = 0; t < K; ++t) {
+        l_starts[t] = r;
+        l_picks[t] = static_cast<std::size_t>(events[t].limit_choice);
+        const std::size_t gg =
+            graph_base[t] + static_cast<std::size_t>(events[t].chosen_graph);
+        for (std::size_t i = 0; i < events[t].limit_values.size(); ++i, ++r) {
+          l_all(r, 0) = events[t].limit_feat(i, 0);
+          l_graphs.push_back(gg);
+          l_events.push_back(t);
+          if (stage_level) {
+            l_nodes.push_back(emb.node_offset[gg] +
+                              static_cast<std::size_t>(events[t].chosen_node));
+          }
+        }
+      }
+      std::vector<nn::Var> srcs;
+      std::vector<std::vector<std::size_t>> w_picks;
+      if (stage_level) {
+        srcs.push_back(emb.node_all);
+        w_picks.push_back(std::move(l_nodes));
+      }
+      srcs.push_back(emb.job_mat);
+      w_picks.push_back(std::move(l_graphs));
+      srcs.push_back(emb.global_mat);
+      w_picks.push_back(std::move(l_events));
+      srcs.push_back(tape.constant(std::move(l_all)));
+      std::vector<std::size_t> ident(total_l);
+      for (std::size_t i = 0; i < total_l; ++i) ident[i] = i;
+      w_picks.push_back(std::move(ident));
+      const nn::Var w_out =
+          w_.apply(tape, tape.gather_concat_cols(srcs, std::move(w_picks)));
+      loss_parts.push_back(
+          tape.matmul(tape.log_prob_pick_segments(w_out, std::move(l_starts),
+                                                  std::move(l_picks)),
+                      neg_w_col));
+    }
+  }
+
+  // --- Executor-class head (multi-resource) ---------------------------------
+  std::size_t total_c = 0;
+  for (std::size_t t = 0; t < K; ++t) total_c += events[t].class_feat.rows();
+  if (total_c > 0) {
+    std::vector<std::size_t> c_graphs, c_events, c_starts, c_picks;
+    std::vector<double> c_weights;
+    nn::Matrix c_all(total_c, 2);
+    std::size_t r = 0;
+    for (std::size_t t = 0; t < K; ++t) {
+      const std::size_t nc = events[t].class_feat.rows();
+      if (nc == 0) continue;
+      c_starts.push_back(r);
+      c_picks.push_back(static_cast<std::size_t>(events[t].class_choice));
+      c_weights.push_back(events[t].weight);
+      const std::size_t gg =
+          graph_base[t] + static_cast<std::size_t>(events[t].chosen_graph);
+      for (std::size_t i = 0; i < nc; ++i, ++r) {
+        c_all(r, 0) = events[t].class_feat(i, 0);
+        c_all(r, 1) = events[t].class_feat(i, 1);
+        c_graphs.push_back(gg);
+        c_events.push_back(t);
+      }
+    }
+    std::vector<std::size_t> c_ident(total_c);
+    for (std::size_t i = 0; i < total_c; ++i) c_ident[i] = i;
+    const nn::Var class_out = class_head_.apply(
+        tape, tape.gather_concat_cols(
+                  {emb.job_mat, emb.global_mat, tape.constant(std::move(c_all))},
+                  {std::move(c_graphs), std::move(c_events),
+                   std::move(c_ident)}));
+    nn::Matrix neg_cw(c_weights.size(), 1);
+    for (std::size_t i = 0; i < c_weights.size(); ++i) {
+      neg_cw(i, 0) = -c_weights[i];
+    }
+    loss_parts.push_back(
+        tape.matmul(tape.log_prob_pick_segments(class_out, std::move(c_starts),
+                                                std::move(c_picks)),
+                    tape.constant(std::move(neg_cw))));
+  }
+
+  // --- One backward for the whole batch -------------------------------------
+  const nn::Var loss =
+      loss_parts.size() == 1 ? loss_parts[0] : tape.addn(loss_parts);
+  tape.backward(loss);
 }
 
 std::unique_ptr<DecimaAgent> DecimaAgent::clone() const {

@@ -40,6 +40,18 @@ struct AgentConfig {
   // false falls back to the one-node-at-a-time GNN sweep (the pre-batching
   // reference path; used by equivalence tests and latency benchmarks).
   bool batched_inference = true;
+  // Episode-batched REINFORCE replay (docs/training.md): while the recorded
+  // actions re-drive the simulator, each scheduling event is snapshotted
+  // instead of scored; the snapshots are then evaluated in replay_batch-event
+  // chunks, each chunk one tape with one backward pass. false falls back to
+  // the one-tape-per-action reference loop (equivalence tests).
+  bool batched_replay = true;
+  // Events per batched-replay tape: the episode is scored in chunks of this
+  // many scheduling events (one backward per chunk) so the tape's working
+  // set stays cache-resident; 0 holds the whole episode on one tape. 8 was
+  // the throughput sweet spot on the 50-node-DAG training bench — larger
+  // chunks pay DRAM traffic, smaller ones re-pay per-tape overhead.
+  int replay_batch = 8;
   // Limits are discretized in steps of this size to keep the limit softmax
   // small on big clusters (1 = every integer limit).
   int limit_step = 1;
@@ -75,8 +87,14 @@ class DecimaAgent : public sim::Scheduler {
   // Replay (kReplay): re-executes `actions` while accumulating
   // −Σ_k weight_k · ∇ log π(s_k, a_k) − β · ∇ H(π(s_k)) into the parameter
   // gradients (a *descent* direction for Adam; weights are the advantages).
+  // With config().batched_replay the gradients land in finish_replay();
+  // the reference path accumulates them action by action during the run.
   void start_replay(std::vector<RecordedAction> actions,
                     std::vector<double> weights, double entropy_weight);
+  // Scores the pending batched-replay snapshots (chunked per replay_batch)
+  // and accumulates the episode's gradients. Call after the replayed
+  // episode's env.run(); a no-op on the reference path.
+  void finish_replay();
   // Number of replay actions consumed so far.
   std::size_t replay_cursor() const { return replay_cursor_; }
 
@@ -99,7 +117,29 @@ class DecimaAgent : public sim::Scheduler {
     sim::NodeRef ref;
   };
 
+  // Snapshot of one scheduling event, taken while the recorded actions drive
+  // the environment (batched replay phase 1); phase 2 scores a batch of these
+  // on one tape in score_replay_batch().
+  struct ReplayEvent {
+    std::vector<gnn::JobGraph> graphs;
+    std::vector<Candidate> candidates;
+    int node_choice = 0;
+    int limit_choice = -1;
+    int class_choice = -1;
+    int chosen_graph = 0;  // graph/node of the chosen candidate
+    int chosen_node = 0;
+    std::vector<int> limit_values;  // candidate limits (empty: control off)
+    nn::Matrix limit_feat;  // |limit_values| x 1 scaled limit inputs
+    nn::Matrix class_feat;  // |valid classes| x 2 [mem, free fraction]
+    double weight = 0.0;    // advantage A_k of the replayed action
+  };
+
   int pick(const std::vector<double>& probs, int recorded_choice);
+  // Scores events [begin, end) on one tape with a single backward pass.
+  void score_replay_batch(const std::vector<ReplayEvent>& events,
+                          std::size_t begin, std::size_t end);
+  // Chunked scoring of a whole snapshot list per config_.replay_batch.
+  void score_replay_events(std::vector<ReplayEvent>& events);
 
   AgentConfig config_;
   Rng init_rng_;
@@ -116,6 +156,7 @@ class DecimaAgent : public sim::Scheduler {
   std::vector<RecordedAction> recorded_;
   std::vector<RecordedAction> replay_actions_;
   std::vector<double> replay_weights_;
+  std::vector<ReplayEvent> replay_events_;  // pending batched-replay snapshots
   double entropy_weight_ = 0.0;
   std::size_t replay_cursor_ = 0;
   double observed_iat_ = 0.0;

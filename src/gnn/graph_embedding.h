@@ -49,12 +49,36 @@ struct Embeddings {
   std::vector<nn::Var> job_emb;                // y_i per graph
 };
 
+// Embeddings for an entire episode of scheduling events on one tape (the
+// batched REINFORCE replay). All events' graphs are flattened into one list;
+// `node_offset[g]` locates graph g's rows inside the stacked matrices.
+struct EpisodeEmbeddings {
+  nn::Var feat_all;    // total_nodes x feat_dim constant (stacked raw x_v)
+  nn::Var node_all;    // total_nodes x emb_dim; row node_offset[g] + v = e_v
+  nn::Var job_mat;     // num_graphs x emb_dim (row g = y of graph g)
+  nn::Var global_mat;  // num_events x emb_dim (row t = z of event t)
+  std::vector<std::size_t> node_offset;  // first row of graph g
+};
+
 class GraphEmbedding {
  public:
   explicit GraphEmbedding(const GnnConfig& config, decima::Rng& rng);
 
   // Builds the full three-level embedding of `graphs` on `tape`.
   Embeddings embed(nn::Tape& tape, const std::vector<JobGraph>& graphs) const;
+
+  // Episode-batched embedding: `graphs` holds every graph of every scheduling
+  // event of an episode (or chunk), `event_of_graph[g]` names graph g's event
+  // (non-decreasing, < num_events). Node and job levels are event-independent
+  // and run fully batched — each of the six MLPs is applied once per
+  // message-passing depth (not once per graph per event); the global level
+  // segment-sums per event, so global_mat row t is exactly the z the
+  // inference path computes for event t. Always uses the batched kernels
+  // regardless of config().batched (callers gate on their own replay flag).
+  EpisodeEmbeddings embed_episode(
+      nn::Tape& tape, const std::vector<const JobGraph*>& graphs,
+      const std::vector<std::size_t>& event_of_graph,
+      std::size_t num_events) const;
 
   // Per-node embeddings only (used by the supervised expressiveness study).
   std::vector<nn::Var> embed_nodes(nn::Tape& tape, const JobGraph& graph,

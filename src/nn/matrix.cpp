@@ -64,6 +64,36 @@ Matrix Matrix::matmul_transposed(const Matrix& rhs) const {
   return out;
 }
 
+void Matrix::matmul_transposed_acc(const Matrix& rhs, Matrix& dst) const {
+  assert(cols_ == rhs.cols());
+  assert(dst.rows() == rows_ && dst.cols() == rhs.rows());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    double* o = dst.data() + i * rhs.rows();
+    for (std::size_t j = 0; j < rhs.rows(); ++j) {
+      const double* b = rhs.data() + j * rhs.cols();
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
+      o[j] += acc;
+    }
+  }
+}
+
+void Matrix::transposed_matmul_acc(const Matrix& rhs, Matrix& dst) const {
+  assert(rows_ == rhs.rows());
+  assert(dst.rows() == cols_ && dst.cols() == rhs.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    const double* b = rhs.data() + i * rhs.cols();
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double av = a[k];
+      if (av == 0.0) continue;
+      double* o = dst.data() + k * rhs.cols();
+      for (std::size_t j = 0; j < rhs.cols(); ++j) o[j] += av * b[j];
+    }
+  }
+}
+
 double Matrix::sum() const {
   double s = 0.0;
   for (double v : data_) s += v;

@@ -67,6 +67,15 @@ class Matrix {
   Matrix transposed_matmul(const Matrix& rhs) const;
   // this * rhs^T.
   Matrix matmul_transposed(const Matrix& rhs) const;
+  // Accumulating forms of the two backward products, without materializing a
+  // temporary product. dst += this * rhs^T computes each element's dot
+  // product in a register before the single add, so it is bit-identical to
+  // dst.add_in_place(matmul_transposed(rhs)); dst += this^T * rhs
+  // accumulates row by row directly into dst, which reorders the summation
+  // relative to the temporary-then-add form whenever dst is non-zero
+  // (ulp-level differences only).
+  void matmul_transposed_acc(const Matrix& rhs, Matrix& dst) const;
+  void transposed_matmul_acc(const Matrix& rhs, Matrix& dst) const;
 
   double sum() const;
   double squared_norm() const;

@@ -24,10 +24,9 @@ Mlp::Mlp(std::string name, std::size_t in_dim, std::size_t out_dim,
 Var Mlp::apply(Tape& tape, Var x) const {
   Var h = x;
   for (std::size_t l = 0; l < weights_.size(); ++l) {
-    Var w = tape.param(*weights_[l]);
-    Var b = tape.param(*biases_[l]);
-    h = tape.add_bias(tape.matmul(h, w), b);
-    if (l + 1 < weights_.size()) h = tape.leaky_relu(h);
+    // One fused node per layer (hidden layers leaky-ReLU, output linear).
+    h = tape.linear(h, tape.param(*weights_[l]), tape.param(*biases_[l]),
+                    /*leaky=*/l + 1 < weights_.size());
   }
   return h;
 }

@@ -121,6 +121,49 @@ Var Tape::leaky_relu(Var a, double slope) {
   })};
 }
 
+Var Tape::linear(Var x, Var w, Var bias, bool leaky, double slope) {
+  const Matrix& X = value(x);
+  const Matrix& W = value(w);
+  const Matrix& B = value(bias);
+  assert(X.cols() == W.rows());
+  assert(B.rows() == 1 && B.cols() == W.cols());
+  Matrix out = X.matmul(W);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += B(0, c);
+  }
+  if (leaky) {
+    for (double& v : out.raw()) v = v > 0.0 ? v : slope * v;
+  }
+  const bool ng =
+      node(x).needs_grad || node(w).needs_grad || node(bias).needs_grad;
+  const int xi = x.idx, wi = w.idx, bi = bias.idx;
+  return Var{push(std::move(out), ng,
+                  [xi, wi, bi, leaky, slope](Tape& t, Node& self) {
+    Node& nx = t.nodes_[xi];
+    Node& nw = t.nodes_[wi];
+    Node& nb = t.nodes_[bi];
+    // leaky-ReLU preserves sign (slope > 0), so the activation mask is
+    // recoverable from the output; self.grad is masked in place (this node's
+    // gradient has no readers after its backward_fn runs) and the two
+    // products accumulate straight into the parents' gradients.
+    Matrix& dpre = self.grad;
+    if (leaky) {
+      for (std::size_t i = 0; i < dpre.raw().size(); ++i) {
+        if (self.value.raw()[i] <= 0.0) dpre.raw()[i] *= slope;
+      }
+    }
+    if (nx.needs_grad) dpre.matmul_transposed_acc(nw.value, nx.grad);
+    if (nw.needs_grad) nx.value.transposed_matmul_acc(dpre, nw.grad);
+    if (nb.needs_grad) {
+      for (std::size_t r = 0; r < dpre.rows(); ++r) {
+        for (std::size_t c = 0; c < dpre.cols(); ++c) {
+          nb.grad(0, c) += dpre(r, c);
+        }
+      }
+    }
+  })};
+}
+
 Var Tape::tanh(Var a) {
   Matrix out = value(a);
   for (double& v : out.raw()) v = std::tanh(v);
@@ -347,6 +390,50 @@ Var Tape::as_row(Var a) {
   })};
 }
 
+Var Tape::gather_concat_cols(const std::vector<Var>& xs,
+                             std::vector<std::vector<std::size_t>> picks) {
+  assert(!xs.empty() && xs.size() == picks.size());
+  const std::size_t n = picks[0].size();
+  std::size_t cols = 0;
+  bool ng = false;
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    assert(picks[s].size() == n);
+    cols += value(xs[s]).cols();
+    ng = ng || node(xs[s]).needs_grad;
+  }
+  Matrix out(n, cols);
+  std::size_t c0 = 0;
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    const Matrix& m = value(xs[s]);
+    for (std::size_t r = 0; r < n; ++r) {
+      assert(picks[s][r] < m.rows());
+      const double* src = m.data() + picks[s][r] * m.cols();
+      double* dst = out.data() + r * cols + c0;
+      std::copy(src, src + m.cols(), dst);
+    }
+    c0 += m.cols();
+  }
+  std::vector<int> idxs;
+  idxs.reserve(xs.size());
+  for (Var v : xs) idxs.push_back(v.idx);
+  return Var{push(std::move(out), ng,
+                  [idxs, picks = std::move(picks)](Tape& t, Node& self) {
+    std::size_t c0 = 0;
+    for (std::size_t s = 0; s < idxs.size(); ++s) {
+      Node& ni = t.nodes_[idxs[s]];
+      const std::size_t w = ni.value.cols();
+      if (ni.needs_grad) {
+        for (std::size_t r = 0; r < picks[s].size(); ++r) {
+          const double* g = self.grad.data() + r * self.grad.cols() + c0;
+          double* dst = ni.grad.data() + picks[s][r] * w;
+          for (std::size_t c = 0; c < w; ++c) dst[c] += g[c];
+        }
+      }
+      c0 += w;
+    }
+  })};
+}
+
 Var Tape::log_prob_pick(Var logits, std::size_t pick) {
   const Matrix& L = value(logits);
   assert(L.rows() == 1 && pick < L.cols());
@@ -388,6 +475,99 @@ Var Tape::entropy(Var logits) {
     for (std::size_t c = 0; c < p.size(); ++c) {
       const double logp = p[c] > 1e-12 ? std::log(p[c]) : -27.6;
       na.grad(0, c) += g * (-p[c] * (logp + h));
+    }
+  })};
+}
+
+Var Tape::log_prob_pick_segments(Var logits, std::vector<std::size_t> seg_start,
+                                 std::vector<std::size_t> picks) {
+  const Matrix& L = value(logits);
+  assert(L.cols() == 1);
+  assert(seg_start.size() == picks.size());
+  const std::size_t S = seg_start.size();
+  // Per segment: the exact max/denom/log_z sequence of log_prob_pick, so the
+  // segmented op is bitwise-identical to one log_prob_pick per segment.
+  std::vector<double> log_z(S);
+  Matrix out(1, S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::size_t lo = seg_start[s];
+    const std::size_t hi = s + 1 < S ? seg_start[s + 1] : L.rows();
+    assert(lo < hi && hi <= L.rows() && picks[s] < hi - lo);
+    double max_logit = L(lo, 0);
+    for (std::size_t r = lo + 1; r < hi; ++r) {
+      max_logit = std::max(max_logit, L(r, 0));
+    }
+    double denom = 0.0;
+    for (std::size_t r = lo; r < hi; ++r) denom += std::exp(L(r, 0) - max_logit);
+    log_z[s] = max_logit + std::log(denom);
+    out(0, s) = L(lo + picks[s], 0) - log_z[s];
+  }
+  const int ai = logits.idx;
+  return Var{push(std::move(out), node(logits).needs_grad,
+                  [ai, seg_start = std::move(seg_start),
+                   picks = std::move(picks),
+                   log_z = std::move(log_z)](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    const std::size_t S = seg_start.size();
+    for (std::size_t s = 0; s < S; ++s) {
+      const std::size_t lo = seg_start[s];
+      const std::size_t hi = s + 1 < S ? seg_start[s + 1] : na.value.rows();
+      const double g = self.grad(0, s);
+      for (std::size_t r = lo; r < hi; ++r) {
+        const double p = std::exp(na.value(r, 0) - log_z[s]);
+        na.grad(r, 0) += g * ((r == lo + picks[s] ? 1.0 : 0.0) - p);
+      }
+    }
+  })};
+}
+
+Var Tape::entropy_segments(Var logits, std::vector<std::size_t> seg_start) {
+  const Matrix& L = value(logits);
+  assert(L.cols() == 1);
+  const std::size_t S = seg_start.size();
+  // Same probability/entropy sequence as softmax_values + entropy per segment.
+  std::vector<double> probs(L.rows());
+  std::vector<double> ent(S);
+  Matrix out(1, S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::size_t lo = seg_start[s];
+    const std::size_t hi = s + 1 < S ? seg_start[s + 1] : L.rows();
+    assert(lo < hi && hi <= L.rows());
+    double max_logit = L(lo, 0);
+    for (std::size_t r = lo + 1; r < hi; ++r) {
+      max_logit = std::max(max_logit, L(r, 0));
+    }
+    double denom = 0.0;
+    for (std::size_t r = lo; r < hi; ++r) {
+      probs[r] = std::exp(L(r, 0) - max_logit);
+      denom += probs[r];
+    }
+    double h = 0.0;
+    for (std::size_t r = lo; r < hi; ++r) {
+      probs[r] /= denom;
+      if (probs[r] > 1e-12) h -= probs[r] * std::log(probs[r]);
+    }
+    ent[s] = h;
+    out(0, s) = h;
+  }
+  const int ai = logits.idx;
+  return Var{push(std::move(out), node(logits).needs_grad,
+                  [ai, seg_start = std::move(seg_start),
+                   probs = std::move(probs),
+                   ent = std::move(ent)](Tape& t, Node& self) {
+    Node& na = t.nodes_[ai];
+    if (!na.needs_grad) return;
+    const std::size_t S = seg_start.size();
+    for (std::size_t s = 0; s < S; ++s) {
+      const std::size_t lo = seg_start[s];
+      const std::size_t hi = s + 1 < S ? seg_start[s + 1] : na.value.rows();
+      const double g = self.grad(0, s);
+      // dH/dl_r = -p_r (log p_r + H), as in the per-event entropy op.
+      for (std::size_t r = lo; r < hi; ++r) {
+        const double logp = probs[r] > 1e-12 ? std::log(probs[r]) : -27.6;
+        na.grad(r, 0) += g * (-probs[r] * (logp + ent[s]));
+      }
     }
   })};
 }

@@ -60,6 +60,16 @@ class Tape {
   Var leaky_relu(Var a, double slope = 0.2);
   Var tanh(Var a);
 
+  // Fused affine layer x @ W + bias with an optional leaky-ReLU: one tape
+  // node (one materialized matrix + grad) instead of the matmul / add_bias /
+  // leaky_relu chain's three. Forward values match the unfused chain bit for
+  // bit; backward weight gradients accumulate row by row instead of through
+  // a zeroed temporary, which reorders the summation when the param grad is
+  // already non-zero (ulp-level differences, inside the 1e-10 equivalence
+  // contract). Every MLP layer runs through this, so it dominates both the
+  // per-event inference cost and the episode-batched replay cost.
+  Var linear(Var x, Var w, Var bias, bool leaky, double slope = 0.2);
+
   // --- Shape ops ------------------------------------------------------------
   Var concat_cols(const std::vector<Var>& xs);  // all same row count
   Var row(Var a, std::size_t r);                // 1 x cols slice
@@ -79,6 +89,13 @@ class Tape {
                        std::size_t num_segments);
   Var broadcast_row(Var a, std::size_t r, std::size_t n);  // tile row r, n rows
   Var as_row(Var a);  // row-major reshape to 1 x size (e.g. n x 1 -> logits)
+  // Fused gather + column concat: out row r = [xs[0] row picks[0][r],
+  // xs[1] row picks[1][r], ...]. One materialized node instead of one rows()
+  // per source plus a concat_cols — the policy heads of the episode-batched
+  // replay assemble their inputs with this. Gradients scatter straight into
+  // the sources, bit-identical to the unfused chain.
+  Var gather_concat_cols(const std::vector<Var>& xs,
+                         std::vector<std::vector<std::size_t>> picks);
 
   // --- Losses ---------------------------------------------------------------
   // log softmax(logits)[pick]; logits is 1 x n. Returns a 1 x 1 scalar.
@@ -87,6 +104,21 @@ class Tape {
   // Entropy of softmax(logits) for a 1 x n logits row. Returns 1 x 1.
   // Used as an exploration bonus during policy-gradient training.
   Var entropy(Var logits);
+
+  // --- Segment-batched losses -----------------------------------------------
+  // The episode-batched REINFORCE replay stacks every scheduling event's
+  // logits into one n x 1 column (the natural output shape of a row-batched
+  // scoring MLP) and evaluates all per-event softmax losses in a single tape
+  // node. Segment s spans rows [seg_start[s], seg_start[s+1]) (the last one
+  // ends at n); per segment the math is identical to log_prob_pick / entropy,
+  // so the results match the per-event ops bit for bit.
+  //
+  // Returns 1 x S with entry s = log softmax(segment s)[picks[s]] (picks are
+  // segment-local indices).
+  Var log_prob_pick_segments(Var logits, std::vector<std::size_t> seg_start,
+                             std::vector<std::size_t> picks);
+  // Returns 1 x S with entry s = H(softmax(segment s)).
+  Var entropy_segments(Var logits, std::vector<std::size_t> seg_start);
 
   // Softmax probabilities of a 1 x n logits row (forward value only; the
   // backward path flows through log_prob_pick in training).

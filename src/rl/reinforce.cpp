@@ -1,6 +1,7 @@
 #include "rl/reinforce.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -69,9 +70,19 @@ void ReinforceTrainer::replay(core::DecimaAgent& worker,
   worker.params().zero_grads();
   worker.start_replay(episode.actions, std::move(advantages), entropy_weight_);
   env.run(worker, tau);
+  // Batched replay (AgentConfig::batched_replay): the run above only
+  // snapshotted the scheduling events; this scores them on chunked tapes,
+  // each chunk differentiated by a single backward pass. No-op on the
+  // reference path, which accumulated gradients action by action.
+  worker.finish_replay();
 }
 
 IterationStats ReinforceTrainer::iterate() {
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  const auto t_iter = Clock::now();
   const int n = config_.episodes_per_iter;
 
   // (1) Episode length: memoryless termination with growing mean (§5.3).
@@ -99,6 +110,7 @@ IterationStats ReinforceTrainer::iterate() {
   for (int i = 0; i < n; ++i) workers.push_back(agent_.clone());
 
   // (3) Parallel rollouts.
+  const auto t_rollout = Clock::now();
   std::vector<EpisodeData> episodes(static_cast<std::size_t>(n));
   {
     const int threads = std::max(1, std::min(config_.num_threads, n));
@@ -114,6 +126,7 @@ IterationStats ReinforceTrainer::iterate() {
     }
     for (auto& th : pool) th.join();
   }
+  const double rollout_seconds = seconds_since(t_rollout);
 
   // (4) Returns, baselines, advantages.
   double mean_total_reward = 0.0;
@@ -167,6 +180,7 @@ IterationStats ReinforceTrainer::iterate() {
   }
 
   // (5) Parallel replays accumulate gradients into each worker's params.
+  const auto t_replay = Clock::now();
   {
     const int threads = std::max(1, std::min(config_.num_threads, n));
     std::vector<std::thread> pool;
@@ -180,6 +194,7 @@ IterationStats ReinforceTrainer::iterate() {
     }
     for (auto& th : pool) th.join();
   }
+  const double replay_seconds = seconds_since(t_replay);
 
   // (6) Reduce gradients (deterministic order), clip, Adam.
   agent_.params().zero_grads();
@@ -203,6 +218,9 @@ IterationStats ReinforceTrainer::iterate() {
   stats.total_actions = total_actions;
   stats.grad_norm = grad_norm;
   stats.entropy_weight = entropy_weight_;
+  stats.rollout_seconds = rollout_seconds;
+  stats.replay_seconds = replay_seconds;
+  stats.step_seconds = seconds_since(t_iter) - rollout_seconds - replay_seconds;
   return stats;
 }
 

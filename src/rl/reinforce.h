@@ -10,7 +10,14 @@
 //   4. convert rewards to returns (optionally differential/average-reward,
 //      Appendix B), compute time-aligned per-sequence baselines, normalize
 //      advantages;
-//   5. replay each episode, accumulating −Σ_k A_k ∇log π_θ(s_k, a_k) − β∇H;
+//   5. replay each episode, accumulating −Σ_k A_k ∇log π_θ(s_k, a_k) − β∇H.
+//      Two equivalent paths (docs/training.md): with
+//      AgentConfig::batched_replay (default) the recorded actions re-drive
+//      the simulator while each scheduling event is snapshotted, then the
+//      whole episode is scored and differentiated on ONE tape with a single
+//      backward pass; the reference path builds one tape per action and
+//      backwards through it immediately. Gradients match to <= 1e-10
+//      (tests/test_batched_equivalence.cpp);
 //   6. clip gradients and take an Adam step (lr 1e-3, Appendix C).
 //
 // Ablation switches reproduce Fig. 14: fixed_sequences = false disables the
@@ -84,6 +91,11 @@ struct IterationStats {
   int total_actions = 0;
   double grad_norm = 0.0;
   double entropy_weight = 0.0;
+  // Wall-clock seconds per Algorithm-1 phase (BENCH_train.json): rollout =
+  // step 3, replay = step 5, step = everything else (returns/baselines/Adam).
+  double rollout_seconds = 0.0;
+  double replay_seconds = 0.0;
+  double step_seconds = 0.0;
 };
 
 class ReinforceTrainer {

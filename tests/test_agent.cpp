@@ -113,6 +113,7 @@ TEST(Agent, ReplayReproducesRolloutExactly) {
   env2.add_job(job("a", 8, 1.0), 0.0);
   env2.add_job(job("b", 3, 2.0), 0.5);
   env2.run(*clone);
+  clone->finish_replay();
 
   EXPECT_DOUBLE_EQ(env2.avg_jct(), jct1);
   EXPECT_EQ(clone->replay_cursor(), recorded.size());
@@ -140,6 +141,7 @@ TEST(Agent, ZeroAdvantageGivesEntropyOnlyGradient) {
   sim::ClusterEnv env2(config(3));
   env2.add_job(job("a", 5, 1.0), 0.0);
   env2.run(*clone);
+  clone->finish_replay();
   for (const auto* p : clone->params().params()) {
     EXPECT_DOUBLE_EQ(p->grad.squared_norm(), 0.0);
   }

@@ -212,6 +212,91 @@ TEST(Autodiff, LogProbMatchesSoftmax) {
   EXPECT_NEAR(t.value(lp)(0, 0), std::log(p[2]), 1e-12);
 }
 
+TEST(Autodiff, SegmentedLogProbMatchesPerSegment) {
+  // A stacked 3-segment logits column vs three per-segment log_prob_picks:
+  // values and gradients must agree exactly.
+  Param logits = make_param("logits", 7, 1, 44);
+  const std::vector<std::size_t> starts = {0, 3, 4};
+  const std::vector<std::size_t> picks = {2, 0, 1};
+  const std::vector<std::size_t> ends = {3, 4, 7};
+  const Matrix weights(3, 1, {0.7, -1.3, 0.4});
+
+  logits.zero_grad();
+  Tape ts;
+  const Var seg = ts.log_prob_pick_segments(ts.param(logits), starts, picks);
+  ts.backward(ts.matmul(seg, ts.constant(weights)));
+  const Matrix seg_grad = logits.grad;
+  const Matrix seg_val = ts.value(seg);
+
+  logits.zero_grad();
+  Tape tr;
+  const Var col = tr.param(logits);
+  std::vector<Var> lps;
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    std::vector<Var> rows;
+    for (std::size_t r = starts[s]; r < ends[s]; ++r) {
+      rows.push_back(tr.element(col, r, 0));
+    }
+    lps.push_back(tr.scale(
+        tr.log_prob_pick(tr.concat_scalars(rows), picks[s]), weights(s, 0)));
+  }
+  tr.backward(tr.addn(lps));
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    EXPECT_NEAR(seg_val(0, s), tr.value(lps[s])(0, 0) / weights(s, 0), 1e-12);
+  }
+  for (std::size_t i = 0; i < logits.grad.raw().size(); ++i) {
+    EXPECT_NEAR(seg_grad.raw()[i], logits.grad.raw()[i], 1e-14) << "row " << i;
+  }
+
+  const double err = grad_check({&logits}, [&](Tape& t) {
+    return t.matmul(t.log_prob_pick_segments(t.param(logits), starts, picks),
+                    t.constant(weights));
+  });
+  EXPECT_LT(err, 1e-5);
+}
+
+TEST(Autodiff, SegmentedEntropyMatchesPerSegment) {
+  Param logits = make_param("logits", 6, 1, 45);
+  const std::vector<std::size_t> starts = {0, 2, 5};  // last segment size 1
+  const std::vector<std::size_t> ends = {2, 5, 6};
+  const Matrix weights(3, 1, {1.0, -0.5, 2.0});
+
+  logits.zero_grad();
+  Tape ts;
+  const Var seg = ts.entropy_segments(ts.param(logits), starts);
+  ts.backward(ts.matmul(seg, ts.constant(weights)));
+  const Matrix seg_grad = logits.grad;
+  const Matrix seg_val = ts.value(seg);
+  // Singleton segment: zero entropy and zero gradient, exactly.
+  EXPECT_EQ(seg_val(0, 2), 0.0);
+
+  logits.zero_grad();
+  Tape tr;
+  const Var col = tr.param(logits);
+  std::vector<Var> hs;
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    std::vector<Var> rows;
+    for (std::size_t r = starts[s]; r < ends[s]; ++r) {
+      rows.push_back(tr.element(col, r, 0));
+    }
+    hs.push_back(
+        tr.scale(tr.entropy(tr.concat_scalars(rows)), weights(s, 0)));
+  }
+  tr.backward(tr.addn(hs));
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    EXPECT_NEAR(seg_val(0, s), tr.value(hs[s])(0, 0) / weights(s, 0), 1e-12);
+  }
+  for (std::size_t i = 0; i < logits.grad.raw().size(); ++i) {
+    EXPECT_NEAR(seg_grad.raw()[i], logits.grad.raw()[i], 1e-14) << "row " << i;
+  }
+
+  const double err = grad_check({&logits}, [&](Tape& t) {
+    return t.matmul(t.entropy_segments(t.param(logits), starts),
+                    t.constant(weights));
+  });
+  EXPECT_LT(err, 1e-5);
+}
+
 TEST(Autodiff, ConstantsHaveNoGradientPath) {
   Param a = make_param("a", 1, 1, 30);
   a.zero_grad();

@@ -1,14 +1,15 @@
-// The batched inference path (GnnConfig::batched / AgentConfig::
-// batched_inference) must be a pure performance change: embeddings and
-// gradients have to match the one-node-at-a-time reference implementation to
-// floating-point noise, and REINFORCE training must stay deterministic across
-// thread counts.
+// The batched paths (GnnConfig::batched / AgentConfig::batched_inference /
+// AgentConfig::batched_replay) must be pure performance changes: embeddings
+// and gradients have to match the one-node-at-a-time, one-tape-per-action
+// reference implementations to floating-point noise, and REINFORCE training
+// must stay deterministic across thread counts.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "gnn/graph_embedding.h"
 #include "rl/reinforce.h"
+#include "workload/tpch.h"
 
 namespace decima {
 namespace {
@@ -107,6 +108,167 @@ TEST(BatchedEquivalence, GradientsMatchReference) {
   EXPECT_GT(max_abs, 1e-3);
 }
 
+// Episode-batched embedding vs the per-event batched embed: node, job, and
+// global levels must agree event by event.
+TEST(BatchedEquivalence, EpisodeEmbeddingMatchesPerEventEmbed) {
+  for (bool two_level : {true, false}) {
+    Pair gnns(two_level);
+    const std::vector<std::vector<gnn::JobGraph>> events = {
+        {random_dag(21, 50), random_dag(22, 17)},
+        {random_dag(23, 9)},
+        {random_dag(24, 1), random_dag(25, 3), random_dag(26, 12)}};
+
+    std::vector<const gnn::JobGraph*> flat;
+    std::vector<std::size_t> event_of_graph;
+    for (std::size_t t = 0; t < events.size(); ++t) {
+      for (const auto& g : events[t]) {
+        flat.push_back(&g);
+        event_of_graph.push_back(t);
+      }
+    }
+    nn::Tape te(false);
+    const auto ep =
+        gnns.batched.embed_episode(te, flat, event_of_graph, events.size());
+
+    std::size_t graph_idx = 0;
+    for (std::size_t t = 0; t < events.size(); ++t) {
+      nn::Tape tp(false);
+      const auto per_event = gnns.batched.embed(tp, events[t]);
+      for (std::size_t g = 0; g < events[t].size(); ++g, ++graph_idx) {
+        const nn::Matrix& want = tp.value(per_event.node_mat[g]);
+        const nn::Matrix& all = te.value(ep.node_all);
+        const std::size_t off = ep.node_offset[graph_idx];
+        for (std::size_t v = 0; v < want.rows(); ++v) {
+          for (std::size_t c = 0; c < want.cols(); ++c) {
+            EXPECT_NEAR(all(off + v, c), want(v, c), kTol);
+          }
+        }
+        const nn::Matrix& jobs = te.value(ep.job_mat);
+        for (std::size_t c = 0; c < jobs.cols(); ++c) {
+          EXPECT_NEAR(jobs(graph_idx, c), tp.value(per_event.job_mat)(g, c),
+                      kTol);
+        }
+      }
+      const nn::Matrix& glob = te.value(ep.global_mat);
+      for (std::size_t c = 0; c < glob.cols(); ++c) {
+        EXPECT_NEAR(glob(t, c), tp.value(per_event.global_emb)(0, c), kTol);
+      }
+    }
+  }
+}
+
+// --- Replay-path checks ------------------------------------------------------
+
+// Rolls out one recorded episode and expects the batched replay to reproduce
+// the reference loop's gradients.
+void expect_replay_grads_match(const core::AgentConfig& base,
+                               const sim::EnvConfig& env_config,
+                               const std::vector<workload::ArrivingJob>& jobs,
+                               int replay_batch = 0) {
+  core::AgentConfig ab = base;
+  ab.batched_replay = true;
+  ab.replay_batch = replay_batch;
+  core::AgentConfig ar = base;
+  ar.batched_replay = false;
+  ar.batched_inference = false;
+  core::DecimaAgent batched(ab), reference(ar);  // same seed, same weights
+
+  batched.set_mode(core::Mode::kSample);
+  batched.set_sample_seed(31);
+  batched.start_recording();
+  sim::ClusterEnv env(env_config);
+  workload::load(env, jobs);
+  env.run(batched);
+  const auto recorded = batched.take_recorded();
+  ASSERT_FALSE(recorded.empty());
+
+  std::vector<double> weights(recorded.size());
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    weights[k] = (k % 2 ? 1.0 : -1.0) * (0.5 + 0.1 * static_cast<double>(k));
+  }
+  auto grads = [&](core::DecimaAgent& agent) {
+    agent.params().zero_grads();
+    agent.start_replay(recorded, weights, /*entropy_weight=*/0.1);
+    sim::ClusterEnv replay_env(env_config);
+    workload::load(replay_env, jobs);
+    replay_env.run(agent);
+    agent.finish_replay();
+    EXPECT_EQ(agent.replay_cursor(), recorded.size());
+    return agent.params().flat_grads();
+  };
+  const auto gb = grads(batched);
+  const auto gr = grads(reference);
+  ASSERT_EQ(gb.size(), gr.size());
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < gb.size(); ++i) {
+    EXPECT_NEAR(gb[i], gr[i], kTol) << "grad " << i;
+    max_abs = std::max(max_abs, std::abs(gb[i]));
+  }
+  EXPECT_GT(max_abs, 1e-4);
+}
+
+std::vector<workload::ArrivingJob> tpch_jobs(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  return workload::batched(workload::sample_tpch_batch(rng, n));
+}
+
+TEST(BatchedEquivalence, ReplayGradientsMatchReference) {
+  core::AgentConfig ac;
+  ac.seed = 21;
+  sim::EnvConfig env;
+  env.num_executors = 4;
+  expect_replay_grads_match(ac, env, tpch_jobs(3, 4));
+}
+
+TEST(BatchedEquivalence, ReplayGradientsMatchAcrossVariants) {
+  sim::EnvConfig env;
+  env.num_executors = 4;
+  const auto jobs = tpch_jobs(5, 3);
+  for (core::LimitEncoding enc :
+       {core::LimitEncoding::kStageLevel,
+        core::LimitEncoding::kSeparateOutputs}) {
+    core::AgentConfig ac;
+    ac.seed = 23;
+    ac.limit_encoding = enc;
+    expect_replay_grads_match(ac, env, jobs);
+  }
+  core::AgentConfig no_gnn;
+  no_gnn.seed = 24;
+  no_gnn.use_gnn = false;
+  expect_replay_grads_match(no_gnn, env, jobs);
+  core::AgentConfig no_limits;
+  no_limits.seed = 25;
+  no_limits.parallelism_control = false;
+  expect_replay_grads_match(no_limits, env, jobs);
+}
+
+TEST(BatchedEquivalence, ReplayGradientsMatchWithExecutorClasses) {
+  sim::EnvConfig env;
+  env.num_executors = 6;
+  env.classes = {{0.5, "s"}, {1.0, "l"}};
+  Rng rng(4);
+  std::vector<sim::JobSpec> jobs;
+  for (int i = 0; i < 3; ++i) {
+    auto j = workload::sample_tpch_job(rng);
+    workload::assign_memory_requests(j, rng);
+    jobs.push_back(std::move(j));
+  }
+  core::AgentConfig ac;
+  ac.seed = 27;
+  ac.multi_resource = true;
+  expect_replay_grads_match(ac, env, workload::batched(std::move(jobs)));
+}
+
+TEST(BatchedEquivalence, ChunkedReplayMatchesWholeEpisode) {
+  // replay_batch caps the events per tape; chunked scoring must reproduce the
+  // single-tape episode gradients (and therefore the reference's).
+  core::AgentConfig ac;
+  ac.seed = 29;
+  sim::EnvConfig env;
+  env.num_executors = 3;
+  expect_replay_grads_match(ac, env, tpch_jobs(7, 3), /*replay_batch=*/2);
+}
+
 // --- Full-pipeline checks through the trainer -------------------------------
 
 sim::EnvConfig tiny_env() {
@@ -158,6 +320,7 @@ TEST(BatchedEquivalence, FullTrainingIterationMatchesReference) {
   ab.seed = 9;
   core::AgentConfig ar = ab;
   ar.batched_inference = false;
+  ar.batched_replay = false;
   core::DecimaAgent batched(ab), reference(ar);
 
   rl::ReinforceTrainer tb(batched, train_config(2));
@@ -181,6 +344,28 @@ TEST(BatchedEquivalence, FullTrainingIterationMatchesReference) {
 TEST(BatchedEquivalence, TrainerDeterministicAcrossThreadCounts) {
   core::AgentConfig ac;
   ac.seed = 13;
+  core::DecimaAgent one(ac), eight(ac);
+
+  rl::ReinforceTrainer t1(one, train_config(1));
+  rl::ReinforceTrainer t8(eight, train_config(8));
+  t1.train();
+  t8.train();
+
+  const auto p1 = flat_params(one);
+  const auto p8 = flat_params(eight);
+  ASSERT_EQ(p1.size(), p8.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i], p8[i]) << "param " << i;
+  }
+}
+
+// Thread-count determinism pinned explicitly for the batched replay path:
+// training with 1 and 8 worker threads must produce bit-identical parameters.
+TEST(BatchedEquivalence, BatchedReplayDeterministicAcrossThreadCounts) {
+  core::AgentConfig ac;
+  ac.seed = 17;
+  ac.batched_inference = true;
+  ac.batched_replay = true;
   core::DecimaAgent one(ac), eight(ac);
 
   rl::ReinforceTrainer t1(one, train_config(1));

@@ -130,8 +130,15 @@ TEST(MultiResource, AgentReplayIsExactWithClasses) {
   clone->start_replay(recorded, std::vector<double>(recorded.size(), 1.0), 0.0);
   auto env2 = build_env();
   env2.run(*clone);
+  clone->finish_replay();
   EXPECT_DOUBLE_EQ(env1.avg_jct(), env2.avg_jct());
   EXPECT_EQ(clone->replay_cursor(), recorded.size());
+  // The batched replay scored the episode (class head included) on one tape.
+  double gnorm = 0.0;
+  for (const auto* p : clone->params().params()) {
+    gnorm += p->grad.squared_norm();
+  }
+  EXPECT_GT(gnorm, 0.0);
 }
 
 TEST(MultiResource, GrapheneAndTetrisComplete) {
