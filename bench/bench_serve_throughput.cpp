@@ -1,0 +1,134 @@
+// Serving throughput (docs/serving.md): decisions/sec of the PolicyServer
+// for 1-32 concurrent simulated cluster sessions, cross-session batched
+// dispatch vs the sequential reference path. Decisions are bit-identical in
+// both modes (tests/test_serve.cpp), so the ratio isolates what batching
+// buys: all pending sessions' scheduling events embedded and scored as one
+// levelized GNN + policy-head evaluation instead of one per session.
+// Writes BENCH_serve.json.
+#include <chrono>
+#include <thread>
+
+#include "bench_common.h"
+#include "io/checkpoint.h"
+#include "serve/policy_server.h"
+
+using namespace decima;
+
+namespace {
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  std::uint64_t decisions = 0;
+  double mean_batch = 0.0;
+  double decisions_per_sec() const {
+    return static_cast<double>(decisions) / std::max(wall_seconds, 1e-12);
+  }
+};
+
+RunResult run_sessions(const std::string& ckpt, bool batching, int sessions,
+                       const sim::EnvConfig& env,
+                       const std::vector<std::vector<workload::ArrivingJob>>&
+                           session_workloads) {
+  serve::ServeConfig cfg;
+  cfg.cross_session_batching = batching;
+  auto server = serve::PolicyServer::from_checkpoint(ckpt, cfg);
+  if (!server) {
+    std::cerr << "failed to load " << ckpt << "\n";
+    std::exit(1);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      serve::run_session(*server, env,
+                         session_workloads[static_cast<std::size_t>(s)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  RunResult r;
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto stats = server->stats();
+  r.decisions = stats.decisions;
+  r.mean_batch = stats.mean_batch_size;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Serving throughput (ROADMAP north star)",
+      "PolicyServer decisions/sec vs concurrent session count, cross-session\n"
+      "batched dispatch vs sequential scoring of the same request queue\n"
+      "(writes BENCH_serve.json).");
+
+  // The 50-node-DAG profiling family of BENCH_fig12/BENCH_train, sized per
+  // session so a full sweep stays in CI budget. Decisions are identical in
+  // both modes; only wall-clock differs.
+  const int dag_jobs = env_int("DECIMA_SERVE_JOBS", 3);
+  const int dag_nodes = env_int("DECIMA_SERVE_NODES", 30);
+  sim::EnvConfig env;
+  env.num_executors = 10;
+
+  // Policy checkpoint: a freshly initialized agent (throughput does not care
+  // about training quality, and the weights round-trip bit-exactly anyway).
+  core::AgentConfig ac;
+  ac.seed = 37;
+  core::DecimaAgent agent(ac);
+  const std::string ckpt = "serve_bench_policy.ckpt";
+  if (!io::save_policy(agent, ckpt)) {
+    std::cerr << "cannot write " << ckpt << "\n";
+    return 1;
+  }
+  std::cout << "policy checkpoint: " << ckpt << " ("
+            << agent.num_parameters() << " params)\n\n";
+
+  const std::vector<int> session_counts = {1, 2, 4, 8, 16, 32};
+  const int max_sessions = session_counts.back();
+  std::vector<std::vector<workload::ArrivingJob>> session_workloads;
+  for (int s = 0; s < max_sessions; ++s) {
+    session_workloads.push_back(workload::batched(bench::random_dag_jobs(
+        dag_jobs, dag_nodes, 4000 + static_cast<std::uint64_t>(s))));
+  }
+
+  bench::BenchJson json("serve");
+  json.set("bench", "serve_throughput");
+  json.set("dag_jobs_per_session", static_cast<double>(dag_jobs));
+  json.set("dag_nodes", static_cast<double>(dag_nodes));
+
+  // Warm-up run (allocator + cache state), not measured.
+  run_sessions(ckpt, /*batching=*/true, 2, env, session_workloads);
+
+  Table t({"sessions", "sequential [dec/s]", "batched [dec/s]", "speedup",
+           "mean batch", "decisions"});
+  double speedup_at_max = 0.0;
+  for (int sessions : session_counts) {
+    const RunResult seq =
+        run_sessions(ckpt, /*batching=*/false, sessions, env, session_workloads);
+    const RunResult bat =
+        run_sessions(ckpt, /*batching=*/true, sessions, env, session_workloads);
+    const double speedup =
+        bat.decisions_per_sec() / std::max(seq.decisions_per_sec(), 1e-12);
+    speedup_at_max = speedup;
+    t.add_row({fmt_int(sessions), fmt(seq.decisions_per_sec(), 0),
+               fmt(bat.decisions_per_sec(), 0), fmt(speedup, 2),
+               fmt(bat.mean_batch, 2),
+               fmt_int(static_cast<long long>(bat.decisions))});
+    const std::string key = "sessions" + std::to_string(sessions);
+    json.set(key + "_sequential_dps", seq.decisions_per_sec());
+    json.set(key + "_batched_dps", bat.decisions_per_sec());
+    json.set(key + "_speedup", speedup);
+    json.set(key + "_mean_batch", bat.mean_batch);
+    json.set(key + "_decisions", static_cast<double>(bat.decisions));
+  }
+  std::cout << t.to_string();
+  std::cout << "\ncross-session batching speedup at " << max_sessions
+            << " sessions: " << fmt(speedup_at_max, 2) << "x\n";
+
+  const std::string path = json.write();
+  if (!path.empty()) std::cout << "\n[bench] wrote " << path << "\n";
+  return 0;
+}

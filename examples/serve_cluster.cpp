@@ -1,0 +1,111 @@
+// Train -> checkpoint -> serve, end to end (docs/serving.md):
+//   1. trains a Decima agent for a few iterations, checkpointing the trainer
+//      every iteration and once killing + resuming it mid-run (bit-exact);
+//   2. exports the final policy as a versioned policy checkpoint;
+//   3. boots a PolicyServer from that file and serves N concurrent simulated
+//      cluster sessions with cross-session batched inference.
+//
+//   ./examples/serve_cluster [train_iters] [sessions]
+#include <iostream>
+#include <thread>
+
+#include "io/checkpoint.h"
+#include "rl/reinforce.h"
+#include "serve/policy_server.h"
+#include "util/table.h"
+#include "workload/tpch.h"
+
+using namespace decima;
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 20;
+  const int sessions = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::string trainer_ckpt = "serve_cluster_trainer.ckpt";
+  const std::string policy_ckpt = "serve_cluster_policy.ckpt";
+
+  sim::EnvConfig env;
+  env.num_executors = 10;
+  rl::WorkloadSampler sampler = [](std::uint64_t seed) {
+    Rng rng(seed);
+    return workload::batched(workload::sample_tpch_batch(rng, 10));
+  };
+
+  // ---- 1. Train with periodic checkpoints, kill + resume halfway ----------
+  core::AgentConfig agent_config;
+  agent_config.seed = 1;
+  rl::TrainConfig train;
+  train.num_iterations = iters;
+  train.episodes_per_iter = 4;
+  train.num_threads = 4;
+  train.curriculum = false;
+  train.env = env;
+  train.sampler = sampler;
+
+  core::DecimaAgent agent(agent_config);
+  std::cout << "training " << agent.num_parameters() << "-parameter policy, "
+            << iters << " iterations\n";
+  {
+    rl::ReinforceTrainer trainer(agent, train);
+    for (int i = 0; i < iters / 2; ++i) trainer.iterate();
+    if (!trainer.save_checkpoint(trainer_ckpt)) {
+      std::cerr << "failed to write " << trainer_ckpt << "\n";
+      return 1;
+    }
+  }  // "kill" the first training process
+
+  core::DecimaAgent resumed_agent(agent_config);
+  rl::ReinforceTrainer trainer(resumed_agent, train);
+  if (!trainer.resume(trainer_ckpt)) {
+    std::cerr << "failed to resume from " << trainer_ckpt << "\n";
+    return 1;
+  }
+  std::cout << "resumed at iteration " << trainer.iteration()
+            << " from " << trainer_ckpt << "\n";
+  for (int i = trainer.iteration(); i < iters; ++i) {
+    const auto s = trainer.iterate();
+    if (s.iteration % 5 == 0) {
+      std::cout << "iter " << s.iteration << "  rollout avg JCT "
+                << fmt(s.mean_avg_jct, 1) << "s\n";
+    }
+  }
+
+  // ---- 2. Export the policy -------------------------------------------------
+  if (!io::save_policy(resumed_agent, policy_ckpt)) {
+    std::cerr << "failed to write " << policy_ckpt << "\n";
+    return 1;
+  }
+  std::cout << "exported policy to " << policy_ckpt << "\n\n";
+
+  // ---- 3. Serve concurrent sessions ----------------------------------------
+  auto server = serve::PolicyServer::from_checkpoint(policy_ckpt);
+  if (!server) {
+    std::cerr << "failed to boot server from " << policy_ckpt << "\n";
+    return 1;
+  }
+  std::vector<serve::SessionResult> results(
+      static_cast<std::size_t>(sessions));
+  std::vector<std::thread> threads;
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      Rng rng(9000 + static_cast<std::uint64_t>(s));
+      results[static_cast<std::size_t>(s)] = serve::run_session(
+          *server, env,
+          workload::batched(workload::sample_tpch_batch(rng, 10)));
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Table t({"session", "avg JCT [s]", "jobs done", "decisions"});
+  for (int s = 0; s < sessions; ++s) {
+    const auto& r = results[static_cast<std::size_t>(s)];
+    t.add_row({fmt_int(s), fmt(r.avg_jct, 1), fmt_int(r.completed),
+               fmt_int(static_cast<long long>(r.decisions))});
+  }
+  std::cout << t.to_string();
+  const auto stats = server->stats();
+  std::cout << "\nserved " << stats.decisions << " decisions in "
+            << stats.batches << " batches (mean batch "
+            << fmt(stats.mean_batch_size, 2) << ", max "
+            << stats.max_batch_size << ")\n";
+  return 0;
+}

@@ -124,67 +124,9 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
   if (graphs.empty()) return sim::Action::none();
 
   const int total_execs = env.total_executors();
-  const auto& classes = env.executor_classes();
-  const bool multi_class = config_.multi_resource && classes.size() > 1;
+  const bool multi = multi_class(env);
 
-  // Valid-class memoization per (graph, node) candidate.
-  auto valid_classes = [&](double mem_req) {
-    std::vector<int> out;
-    for (std::size_t c = 0; c < classes.size(); ++c) {
-      if (classes[c].mem + 1e-12 < mem_req) continue;
-      if (env.free_executor_count_of_class(static_cast<int>(c)) == 0) continue;
-      out.push_back(static_cast<int>(c));
-    }
-    return out;
-  };
-
-  // Candidate parallelism limits for the chosen job, and the raw feature
-  // blocks of the limit / class heads (shared by the scoring paths and the
-  // batched-replay snapshots).
-  auto limit_values_for = [&](const sim::JobState& job) {
-    std::vector<int> out;
-    for (int l = job.executors + 1; l <= total_execs; l += config_.limit_step) {
-      out.push_back(l);
-    }
-    return out;
-  };
-  auto limit_feature_col = [&](const std::vector<int>& values) {
-    nn::Matrix lfeat(values.size(), 1);
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      lfeat(i, 0) =
-          static_cast<double>(values[i]) / static_cast<double>(total_execs);
-    }
-    return lfeat;
-  };
-  auto class_feature_mat = [&](const std::vector<int>& values) {
-    nn::Matrix cfeat(values.size(), 2);
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      const int c = values[i];
-      cfeat(i, 0) = classes[static_cast<std::size_t>(c)].mem;
-      cfeat(i, 1) = static_cast<double>(env.free_executor_count_of_class(c)) /
-                    static_cast<double>(total_execs);
-    }
-    return cfeat;
-  };
-
-  // Candidate set A_t: runnable nodes of jobs that can still take executors
-  // and (multi-resource) have at least one fitting class with free capacity.
-  std::vector<Candidate> candidates;
-  for (std::size_t g = 0; g < graphs.size(); ++g) {
-    const auto& job = env.jobs()[static_cast<std::size_t>(graphs[g].env_job)];
-    if (job.executors >= total_execs) continue;
-    for (std::size_t v = 0; v < graphs[g].runnable.size(); ++v) {
-      if (!graphs[g].runnable[v]) continue;
-      const double req = job.spec.stages[v].mem_req;
-      if (multi_class && valid_classes(req).empty()) continue;
-      if (!multi_class && classes.size() == 1 && classes[0].mem + 1e-12 < req) {
-        continue;
-      }
-      candidates.push_back(Candidate{
-          static_cast<int>(g), static_cast<int>(v),
-          sim::NodeRef{graphs[g].env_job, static_cast<int>(v)}});
-    }
-  }
+  std::vector<Candidate> candidates = build_candidates(env, graphs);
   if (candidates.empty()) return sim::Action::none();
 
   if (mode_ == Mode::kReplay && config_.batched_replay) {
@@ -203,16 +145,16 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
     const auto& chosen_job =
         env.jobs()[static_cast<std::size_t>(chosen.ref.job)];
     if (config_.parallelism_control) {
-      ev.limit_values = limit_values_for(chosen_job);
+      ev.limit_values = limit_values_for(chosen_job, total_execs);
       assert(!ev.limit_values.empty() && ev.limit_choice >= 0);
-      ev.limit_feat = limit_feature_col(ev.limit_values);
+      ev.limit_feat = limit_feature_col(ev.limit_values, total_execs);
     }
-    if (multi_class) {
+    if (multi) {
       const std::vector<int> class_values = valid_classes(
-          chosen_job.spec.stages[static_cast<std::size_t>(chosen.ref.stage)]
-              .mem_req);
+          env, chosen_job.spec.stages[static_cast<std::size_t>(chosen.ref.stage)]
+                   .mem_req);
       assert(!class_values.empty() && ev.class_choice >= 0);
-      ev.class_feat = class_feature_mat(class_values);
+      ev.class_feat = class_feature_mat(env, class_values);
     }
     ev.weight = replay_weights_[replay_cursor_];
     ev.graphs = std::move(graphs);
@@ -296,7 +238,7 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
   std::vector<int> limit_values;
   nn::Var limit_logits;
   if (config_.parallelism_control) {
-    limit_values = limit_values_for(chosen_job);
+    limit_values = limit_values_for(chosen_job, total_execs);
     assert(!limit_values.empty());
     const std::size_t cg = static_cast<std::size_t>(chosen.graph);
     if (config_.limit_encoding == LimitEncoding::kSeparateOutputs) {
@@ -314,7 +256,8 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
       // All candidate limits scored in one w pass: the rows differ only in
       // the scalar limit feature, so broadcast the embedding columns.
       const std::size_t nl = limit_values.size();
-      const nn::Var lvar = tape.constant(limit_feature_col(limit_values));
+      const nn::Var lvar =
+          tape.constant(limit_feature_col(limit_values, total_execs));
       std::vector<nn::Var> parts;
       if (config_.limit_encoding == LimitEncoding::kStageLevel) {
         parts = {tape.broadcast_row(node_mats[cg],
@@ -337,13 +280,14 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
   int class_choice = -1;
   std::vector<int> class_values;
   nn::Var class_logits;
-  if (multi_class) {
+  if (multi) {
     class_values = valid_classes(
+        env,
         chosen_job.spec.stages[static_cast<std::size_t>(chosen.ref.stage)].mem_req);
     // One class_head pass over all valid classes.
     const std::size_t nc = class_values.size();
     const std::size_t cg = static_cast<std::size_t>(chosen.graph);
-    const nn::Var cvar = tape.constant(class_feature_mat(class_values));
+    const nn::Var cvar = tape.constant(class_feature_mat(env, class_values));
     class_logits = tape.as_row(class_head_.apply(
         tape, tape.concat_cols({tape.broadcast_row(job_mat, cg, nc),
                                 tape.broadcast_row(glob, 0, nc), cvar})));
@@ -368,7 +312,7 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
       logps.push_back(tape.log_prob_pick(
           limit_logits, static_cast<std::size_t>(limit_choice)));
     }
-    if (multi_class && class_values.size() > 1) {
+    if (multi && class_values.size() > 1) {
       logps.push_back(tape.log_prob_pick(
           class_logits, static_cast<std::size_t>(class_choice)));
     }
@@ -400,7 +344,6 @@ void DecimaAgent::score_replay_batch(const std::vector<ReplayEvent>& all,
   if (begin >= end) return;
   const std::size_t K = end - begin;
   const ReplayEvent* events = all.data() + begin;  // chunk window
-  const std::size_t d = static_cast<std::size_t>(config_.emb_dim);
 
   // Flatten every event's graphs into one episode-wide list.
   std::vector<const gnn::JobGraph*> graphs;
@@ -413,33 +356,11 @@ void DecimaAgent::score_replay_batch(const std::vector<ReplayEvent>& all,
       event_of_graph.push_back(t);
     }
   }
-  const std::size_t G = graphs.size();
 
   nn::Tape tape(/*track_gradients=*/true);
-  gnn::EpisodeEmbeddings emb;
-  if (config_.use_gnn) {
-    emb = gnn_.embed_episode(tape, graphs, event_of_graph, K);
-  } else {
-    // Zero embedding stand-ins (the no-GNN ablation); q still sees raw x_v.
-    emb.node_offset.resize(G);
-    std::size_t total = 0;
-    for (std::size_t g = 0; g < G; ++g) {
-      emb.node_offset[g] = total;
-      total += graphs[g]->features.rows();
-    }
-    const std::size_t fd = static_cast<std::size_t>(config_.features.dim());
-    nn::Matrix X(total, fd);
-    for (std::size_t g = 0; g < G; ++g) {
-      std::copy(graphs[g]->features.raw().begin(),
-                graphs[g]->features.raw().end(),
-                X.raw().begin() +
-                    static_cast<std::ptrdiff_t>(emb.node_offset[g] * fd));
-    }
-    emb.feat_all = tape.constant(std::move(X));
-    emb.node_all = tape.constant(nn::Matrix(total, d));
-    emb.job_mat = tape.constant(nn::Matrix(G, d));
-    emb.global_mat = tape.constant(nn::Matrix(K, d));
-  }
+  const gnn::EpisodeEmbeddings emb =
+      config_.use_gnn ? gnn_.embed_episode(tape, graphs, event_of_graph, K)
+                      : zero_episode_embeddings(tape, graphs, K);
 
   // Advantage column shared by the head losses: d(loss)/d(logp_t) = -A_t.
   nn::Matrix neg_w(K, 1);
@@ -605,6 +526,349 @@ void DecimaAgent::score_replay_batch(const std::vector<ReplayEvent>& all,
   tape.backward(loss);
 }
 
+bool DecimaAgent::multi_class(const sim::ClusterEnv& env) const {
+  return config_.multi_resource && env.executor_classes().size() > 1;
+}
+
+std::vector<int> DecimaAgent::valid_classes(const sim::ClusterEnv& env,
+                                            double mem_req) const {
+  const auto& classes = env.executor_classes();
+  std::vector<int> out;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    if (classes[c].mem + 1e-12 < mem_req) continue;
+    if (env.free_executor_count_of_class(static_cast<int>(c)) == 0) continue;
+    out.push_back(static_cast<int>(c));
+  }
+  return out;
+}
+
+std::vector<int> DecimaAgent::limit_values_for(const sim::JobState& job,
+                                               int total_execs) const {
+  std::vector<int> out;
+  for (int l = job.executors + 1; l <= total_execs; l += config_.limit_step) {
+    out.push_back(l);
+  }
+  return out;
+}
+
+nn::Matrix DecimaAgent::limit_feature_col(const std::vector<int>& values,
+                                          int total_execs) {
+  nn::Matrix lfeat(values.size(), 1);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    lfeat(i, 0) =
+        static_cast<double>(values[i]) / static_cast<double>(total_execs);
+  }
+  return lfeat;
+}
+
+nn::Matrix DecimaAgent::class_feature_mat(const sim::ClusterEnv& env,
+                                          const std::vector<int>& values) const {
+  const auto& classes = env.executor_classes();
+  const int total_execs = env.total_executors();
+  nn::Matrix cfeat(values.size(), 2);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const int c = values[i];
+    cfeat(i, 0) = classes[static_cast<std::size_t>(c)].mem;
+    cfeat(i, 1) = static_cast<double>(env.free_executor_count_of_class(c)) /
+                  static_cast<double>(total_execs);
+  }
+  return cfeat;
+}
+
+std::vector<DecimaAgent::Candidate> DecimaAgent::build_candidates(
+    const sim::ClusterEnv& env, const std::vector<gnn::JobGraph>& graphs) const {
+  const int total_execs = env.total_executors();
+  const auto& classes = env.executor_classes();
+  const bool multi = multi_class(env);
+  std::vector<Candidate> candidates;
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    const auto& job = env.jobs()[static_cast<std::size_t>(graphs[g].env_job)];
+    if (job.executors >= total_execs) continue;
+    for (std::size_t v = 0; v < graphs[g].runnable.size(); ++v) {
+      if (!graphs[g].runnable[v]) continue;
+      const double req = job.spec.stages[v].mem_req;
+      if (multi && valid_classes(env, req).empty()) continue;
+      if (!multi && classes.size() == 1 && classes[0].mem + 1e-12 < req) {
+        continue;
+      }
+      candidates.push_back(Candidate{
+          static_cast<int>(g), static_cast<int>(v),
+          sim::NodeRef{graphs[g].env_job, static_cast<int>(v)}});
+    }
+  }
+  return candidates;
+}
+
+gnn::EpisodeEmbeddings DecimaAgent::zero_episode_embeddings(
+    nn::Tape& tape, const std::vector<const gnn::JobGraph*>& graphs,
+    std::size_t num_events) const {
+  // Zero embedding stand-ins (the no-GNN ablation); q still sees raw x_v.
+  const std::size_t G = graphs.size();
+  const std::size_t d = static_cast<std::size_t>(config_.emb_dim);
+  gnn::EpisodeEmbeddings emb;
+  emb.node_offset.resize(G);
+  std::size_t total = 0;
+  for (std::size_t g = 0; g < G; ++g) {
+    emb.node_offset[g] = total;
+    total += graphs[g]->features.rows();
+  }
+  const std::size_t fd = static_cast<std::size_t>(config_.features.dim());
+  nn::Matrix X(total, fd);
+  for (std::size_t g = 0; g < G; ++g) {
+    std::copy(graphs[g]->features.raw().begin(),
+              graphs[g]->features.raw().end(),
+              X.raw().begin() +
+                  static_cast<std::ptrdiff_t>(emb.node_offset[g] * fd));
+  }
+  emb.feat_all = tape.constant(std::move(X));
+  emb.node_all = tape.constant(nn::Matrix(total, d));
+  emb.job_mat = tape.constant(nn::Matrix(G, d));
+  emb.global_mat = tape.constant(nn::Matrix(num_events, d));
+  return emb;
+}
+
+sim::Action DecimaAgent::decide(const sim::ClusterEnv& env) const {
+  return decide_batch({&env})[0];
+}
+
+std::vector<sim::Action> DecimaAgent::decide_batch(
+    const std::vector<const sim::ClusterEnv*>& envs) const {
+  std::vector<sim::Action> out(envs.size(), sim::Action::none());
+
+  // Per-session scoring inputs; sessions with nothing to schedule answer
+  // none() and drop out of the batch.
+  struct SessionEvent {
+    std::size_t session = 0;
+    std::vector<gnn::JobGraph> graphs;
+    std::vector<Candidate> candidates;
+  };
+  std::vector<SessionEvent> events;
+  for (std::size_t s = 0; s < envs.size(); ++s) {
+    SessionEvent ev;
+    ev.session = s;
+    ev.graphs = gnn::extract_graphs(*envs[s], config_.features, observed_iat_);
+    if (ev.graphs.empty()) continue;
+    ev.candidates = build_candidates(*envs[s], ev.graphs);
+    if (ev.candidates.empty()) continue;
+    events.push_back(std::move(ev));
+  }
+  if (events.empty()) return out;
+  const std::size_t K = events.size();
+
+  // Flatten every session's graphs; session index = "event" of embed_episode,
+  // so global_mat row t is session t's z exactly as decide() computes it.
+  std::vector<const gnn::JobGraph*> graphs;
+  std::vector<std::size_t> event_of_graph;
+  std::vector<std::size_t> graph_base(K);
+  for (std::size_t t = 0; t < K; ++t) {
+    graph_base[t] = graphs.size();
+    for (const auto& g : events[t].graphs) {
+      graphs.push_back(&g);
+      event_of_graph.push_back(t);
+    }
+  }
+
+  nn::Tape tape(/*track_gradients=*/false);
+  const gnn::EpisodeEmbeddings emb =
+      config_.use_gnn ? gnn_.embed_episode(tape, graphs, event_of_graph, K)
+                      : zero_episode_embeddings(tape, graphs, K);
+
+  // Greedy choice over raw logits, replicating pick()'s argmax over
+  // Tape::softmax_values exactly — same max/exp/normalize sequence, same
+  // first-maximum tie-break. Argmaxing the raw logits instead would be only
+  // weakly order-preserving (distinct logits can round to equal
+  // probabilities), which could flip an ulp-level tie against schedule().
+  const auto greedy_pick = [](const std::vector<double>& logits) {
+    double max_logit = logits[0];
+    for (std::size_t i = 1; i < logits.size(); ++i) {
+      max_logit = std::max(max_logit, logits[i]);
+    }
+    std::vector<double> p(logits.size());
+    double denom = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      p[i] = std::exp(logits[i] - max_logit);
+      denom += p[i];
+    }
+    for (double& v : p) v /= denom;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      if (p[i] > p[best]) best = i;
+    }
+    return best;
+  };
+  const auto argmax_segment = [&greedy_pick](const nn::Matrix& col,
+                                             std::size_t begin,
+                                             std::size_t end) {
+    std::vector<double> logits(end - begin);
+    for (std::size_t r = begin; r < end; ++r) logits[r - begin] = col(r, 0);
+    return greedy_pick(logits);
+  };
+
+  // --- Stage head: every candidate of every session through one q pass -----
+  std::vector<std::size_t> cand_rows, cand_graphs, cand_events;
+  std::vector<std::size_t> node_starts(K);
+  for (std::size_t t = 0; t < K; ++t) {
+    node_starts[t] = cand_rows.size();
+    for (const Candidate& c : events[t].candidates) {
+      const std::size_t gg = graph_base[t] + static_cast<std::size_t>(c.graph);
+      cand_rows.push_back(emb.node_offset[gg] +
+                          static_cast<std::size_t>(c.node));
+      cand_graphs.push_back(gg);
+      cand_events.push_back(t);
+    }
+  }
+  const std::size_t total_cands = cand_rows.size();
+  std::vector<std::vector<std::size_t>> q_picks;
+  q_picks.push_back(cand_rows);
+  q_picks.push_back(std::move(cand_rows));
+  q_picks.push_back(std::move(cand_graphs));
+  q_picks.push_back(std::move(cand_events));
+  const nn::Var q_out = q_.apply(
+      tape, tape.gather_concat_cols(
+                {emb.feat_all, emb.node_all, emb.job_mat, emb.global_mat},
+                std::move(q_picks)));
+  const nn::Matrix& q_vals = tape.value(q_out);
+
+  // Per-session chosen candidate (greedy within the session's segment).
+  std::vector<const Candidate*> chosen(K);
+  std::vector<std::size_t> chosen_graph_row(K);  // row into emb.job_mat
+  for (std::size_t t = 0; t < K; ++t) {
+    const std::size_t seg_end =
+        t + 1 < K ? node_starts[t + 1] : total_cands;
+    const std::size_t choice = argmax_segment(q_vals, node_starts[t], seg_end);
+    chosen[t] = &events[t].candidates[choice];
+    chosen_graph_row[t] =
+        graph_base[t] + static_cast<std::size_t>(chosen[t]->graph);
+    out[events[t].session].node = chosen[t]->ref;
+    out[events[t].session].limit = envs[events[t].session]->total_executors();
+  }
+
+  // --- Parallelism head: every session's candidate limits in one w pass ----
+  if (config_.parallelism_control) {
+    std::vector<std::vector<int>> limit_values(K);
+    for (std::size_t t = 0; t < K; ++t) {
+      const sim::ClusterEnv& env = *envs[events[t].session];
+      limit_values[t] = limit_values_for(
+          env.jobs()[static_cast<std::size_t>(chosen[t]->ref.job)],
+          env.total_executors());
+      assert(!limit_values[t].empty());
+    }
+    if (config_.limit_encoding == LimitEncoding::kSeparateOutputs) {
+      // One w_sep pass over the per-session [y_i, z] rows; each session's
+      // logits are picked out of its output row.
+      std::vector<std::size_t> ev_events(K);
+      for (std::size_t t = 0; t < K; ++t) ev_events[t] = t;
+      const nn::Var all = w_sep_.apply(
+          tape, tape.gather_concat_cols({emb.job_mat, emb.global_mat},
+                                        {chosen_graph_row, ev_events}));
+      const nn::Matrix& w_vals = tape.value(all);
+      for (std::size_t t = 0; t < K; ++t) {
+        std::vector<double> scores(limit_values[t].size());
+        for (std::size_t i = 0; i < limit_values[t].size(); ++i) {
+          const std::size_t idx = std::min<std::size_t>(
+              static_cast<std::size_t>(limit_values[t][i] - 1),
+              kMaxSeparateLimitOutputs - 1);
+          scores[i] = w_vals(t, idx);
+        }
+        out[events[t].session].limit = limit_values[t][greedy_pick(scores)];
+      }
+    } else {
+      const bool stage_level =
+          config_.limit_encoding == LimitEncoding::kStageLevel;
+      std::vector<std::size_t> l_graphs, l_events, l_nodes, l_starts(K);
+      std::size_t total_l = 0;
+      for (std::size_t t = 0; t < K; ++t) total_l += limit_values[t].size();
+      nn::Matrix l_all(total_l, 1);
+      std::size_t r = 0;
+      for (std::size_t t = 0; t < K; ++t) {
+        l_starts[t] = r;
+        const int total_execs = envs[events[t].session]->total_executors();
+        for (std::size_t i = 0; i < limit_values[t].size(); ++i, ++r) {
+          l_all(r, 0) = static_cast<double>(limit_values[t][i]) /
+                        static_cast<double>(total_execs);
+          l_graphs.push_back(chosen_graph_row[t]);
+          l_events.push_back(t);
+          if (stage_level) {
+            l_nodes.push_back(emb.node_offset[chosen_graph_row[t]] +
+                              static_cast<std::size_t>(chosen[t]->node));
+          }
+        }
+      }
+      std::vector<nn::Var> srcs;
+      std::vector<std::vector<std::size_t>> w_picks;
+      if (stage_level) {
+        srcs.push_back(emb.node_all);
+        w_picks.push_back(std::move(l_nodes));
+      }
+      srcs.push_back(emb.job_mat);
+      w_picks.push_back(std::move(l_graphs));
+      srcs.push_back(emb.global_mat);
+      w_picks.push_back(std::move(l_events));
+      srcs.push_back(tape.constant(std::move(l_all)));
+      std::vector<std::size_t> ident(total_l);
+      for (std::size_t i = 0; i < total_l; ++i) ident[i] = i;
+      w_picks.push_back(std::move(ident));
+      const nn::Var w_out =
+          w_.apply(tape, tape.gather_concat_cols(srcs, std::move(w_picks)));
+      const nn::Matrix& w_vals = tape.value(w_out);
+      for (std::size_t t = 0; t < K; ++t) {
+        const std::size_t seg_end = t + 1 < K ? l_starts[t + 1] : total_l;
+        const std::size_t choice =
+            argmax_segment(w_vals, l_starts[t], seg_end);
+        out[events[t].session].limit = limit_values[t][choice];
+      }
+    }
+  }
+
+  // --- Executor-class head (multi-resource sessions) ------------------------
+  std::vector<std::vector<int>> class_values(K);
+  std::size_t total_c = 0;
+  for (std::size_t t = 0; t < K; ++t) {
+    const sim::ClusterEnv& env = *envs[events[t].session];
+    if (!multi_class(env)) continue;
+    class_values[t] = valid_classes(
+        env, env.jobs()[static_cast<std::size_t>(chosen[t]->ref.job)]
+                 .spec.stages[static_cast<std::size_t>(chosen[t]->ref.stage)]
+                 .mem_req);
+    assert(!class_values[t].empty());
+    total_c += class_values[t].size();
+  }
+  if (total_c > 0) {
+    std::vector<std::size_t> c_graphs, c_events, c_starts, c_sessions;
+    nn::Matrix c_all(total_c, 2);
+    std::size_t r = 0;
+    for (std::size_t t = 0; t < K; ++t) {
+      if (class_values[t].empty()) continue;
+      c_starts.push_back(r);
+      c_sessions.push_back(t);
+      const nn::Matrix cf =
+          class_feature_mat(*envs[events[t].session], class_values[t]);
+      for (std::size_t i = 0; i < class_values[t].size(); ++i, ++r) {
+        c_all(r, 0) = cf(i, 0);
+        c_all(r, 1) = cf(i, 1);
+        c_graphs.push_back(chosen_graph_row[t]);
+        c_events.push_back(t);
+      }
+    }
+    std::vector<std::size_t> c_ident(total_c);
+    for (std::size_t i = 0; i < total_c; ++i) c_ident[i] = i;
+    const nn::Var class_out = class_head_.apply(
+        tape,
+        tape.gather_concat_cols(
+            {emb.job_mat, emb.global_mat, tape.constant(std::move(c_all))},
+            {std::move(c_graphs), std::move(c_events), std::move(c_ident)}));
+    const nn::Matrix& c_vals = tape.value(class_out);
+    for (std::size_t i = 0; i < c_starts.size(); ++i) {
+      const std::size_t seg_end =
+          i + 1 < c_starts.size() ? c_starts[i + 1] : total_c;
+      const std::size_t t = c_sessions[i];
+      const std::size_t choice = argmax_segment(c_vals, c_starts[i], seg_end);
+      out[events[t].session].exec_class = class_values[t][choice];
+    }
+  }
+  return out;
+}
+
 std::unique_ptr<DecimaAgent> DecimaAgent::clone() const {
   auto copy = std::make_unique<DecimaAgent>(config_);
   copy->params_.copy_values_from(params_);
@@ -613,7 +877,7 @@ std::unique_ptr<DecimaAgent> DecimaAgent::clone() const {
 }
 
 bool DecimaAgent::save(const std::string& path) const {
-  return nn::save_params(const_cast<DecimaAgent*>(this)->params_, path);
+  return nn::save_params(params_, path);
 }
 
 bool DecimaAgent::load(const std::string& path) {

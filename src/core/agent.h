@@ -75,6 +75,19 @@ class DecimaAgent : public sim::Scheduler {
   sim::Action schedule(const sim::ClusterEnv& env) override;
   std::string name() const override { return "Decima"; }
 
+  // --- Read-only inference (the serving path, src/serve) -------------------
+  // One greedy decision for `env` on a forward-only tape, touching no agent
+  // state: safe to call concurrently from many threads sharing one agent, as
+  // long as nothing mutates the parameters meanwhile.
+  sim::Action decide(const sim::ClusterEnv& env) const;
+  // Greedy decisions for many *independent sessions'* scheduling events,
+  // batched into one forward evaluation: a cross-session embed_episode (each
+  // session = one "event") plus one batched pass per policy head — the
+  // serving analogue of the episode-batched replay. Entry i is the decision
+  // for envs[i], bit-identical to decide(*envs[i]).
+  std::vector<sim::Action> decide_batch(
+      const std::vector<const sim::ClusterEnv*>& envs) const;
+
   // --- Modes ----------------------------------------------------------------
   void set_mode(Mode m) { mode_ = m; }
   Mode mode() const { return mode_; }
@@ -100,6 +113,7 @@ class DecimaAgent : public sim::Scheduler {
 
   // --- Parameters ---------------------------------------------------------------
   nn::ParamSet& params() { return params_; }
+  const nn::ParamSet& params() const { return params_; }
   const AgentConfig& config() const { return config_; }
   std::size_t num_parameters() const { return params_.num_parameters(); }
   std::unique_ptr<DecimaAgent> clone() const;
@@ -140,6 +154,27 @@ class DecimaAgent : public sim::Scheduler {
                           std::size_t begin, std::size_t end);
   // Chunked scoring of a whole snapshot list per config_.replay_batch.
   void score_replay_events(std::vector<ReplayEvent>& events);
+
+  // --- Shared, state-free scoring inputs (schedule() and the serving path) --
+  bool multi_class(const sim::ClusterEnv& env) const;
+  // Executor classes with enough memory for `mem_req` and free capacity.
+  std::vector<int> valid_classes(const sim::ClusterEnv& env,
+                                 double mem_req) const;
+  // Candidate parallelism limits for `job` (> its current allocation).
+  std::vector<int> limit_values_for(const sim::JobState& job,
+                                    int total_execs) const;
+  static nn::Matrix limit_feature_col(const std::vector<int>& values,
+                                      int total_execs);
+  nn::Matrix class_feature_mat(const sim::ClusterEnv& env,
+                               const std::vector<int>& values) const;
+  // The action set A_t: runnable nodes of jobs that can still take executors
+  // and (multi-resource) have a fitting class with free capacity.
+  std::vector<Candidate> build_candidates(
+      const sim::ClusterEnv& env, const std::vector<gnn::JobGraph>& graphs) const;
+  // Zero-embedding stand-ins for the no-GNN ablation in episode-batched form.
+  gnn::EpisodeEmbeddings zero_episode_embeddings(
+      nn::Tape& tape, const std::vector<const gnn::JobGraph*>& graphs,
+      std::size_t num_events) const;
 
   AgentConfig config_;
   Rng init_rng_;

@@ -65,32 +65,64 @@ nn::Var GraphEmbedding::embed_nodes_batched(
   const nn::Var x = tape.constant(graph.features);
   const nn::Var P = proj_.apply(tape, x);  // one batched lift for all nodes
 
-  // Leaves-to-roots sweep (Fig. 5a), one level at a time: the messages
-  // f(e_u) of every edge into the level run as a single matmul chain, then a
-  // segment-sum aggregates them per destination node.
+  // Leaves-to-roots sweep (Fig. 5a), one level at a time. Eq. 1's message
+  // f(e_u) depends only on the child u, so f runs ONCE per node (one f_node
+  // pass over each source level's embedding matrix, built lazily) and its
+  // rows are gathered per edge — the same dedup embed_episode uses, instead
+  // of re-evaluating f for every extra parent of u. Gathered rows equal
+  // per-edge evaluation bit for bit (f is row-independent), and the
+  // per-source-level scatter positions each message at its (destination,
+  // child) slot exactly once, so the final segment-sum adds children in the
+  // original order — bit-identical to the pre-dedup sweep.
   const auto levels = levelize(graph);
-  std::vector<nn::Var> emb(n);
-  for (std::size_t v : levels[0]) emb[v] = tape.row(P, v);
-  for (std::size_t L = 1; L < levels.size(); ++L) {
-    const auto& level = levels[L];
-    std::vector<nn::Var> child_rows;
-    std::vector<std::size_t> seg;
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      for (int u : graph.children[level[i]]) {
-        child_rows.push_back(emb[static_cast<std::size_t>(u)]);
-        seg.push_back(i);
-      }
-    }
-    const nn::Var C = tape.concat_rows(child_rows);
-    const nn::Var F = f_node_.apply(tape, C);
-    nn::Var agg = tape.segment_sum_rows(F, std::move(seg), level.size());
-    if (config_.two_level_aggregation) agg = g_node_.apply(tape, agg);
-    const nn::Var level_emb = tape.add(agg, tape.rows(P, level));
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      emb[level[i]] = tape.row(level_emb, i);
+  std::vector<std::size_t> level_of(n), row_in_level(n);
+  for (std::size_t L = 0; L < levels.size(); ++L) {
+    for (std::size_t i = 0; i < levels[L].size(); ++i) {
+      level_of[levels[L][i]] = L;
+      row_in_level[levels[L][i]] = i;
     }
   }
+  std::vector<nn::Var> level_mat(levels.size());
+  std::vector<nn::Var> f_mat(levels.size());
+  auto f_of_level = [&](std::size_t S) {
+    if (!f_mat[S].valid()) f_mat[S] = f_node_.apply(tape, level_mat[S]);
+    return f_mat[S];
+  };
+  level_mat[0] = tape.rows(P, levels[0]);
+  for (std::size_t L = 1; L < levels.size(); ++L) {
+    const auto& level = levels[L];
+    std::vector<std::size_t> seg_dst;
+    std::vector<std::vector<std::size_t>> src_rows(L), src_pos(L);
+    std::size_t n_children = 0;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      for (int u : graph.children[level[i]]) {
+        const std::size_t uu = static_cast<std::size_t>(u);
+        const std::size_t S = level_of[uu];
+        src_rows[S].push_back(row_in_level[uu]);
+        src_pos[S].push_back(n_children);
+        seg_dst.push_back(i);
+        ++n_children;
+      }
+    }
+    std::vector<nn::Var> parts;
+    for (std::size_t S = 0; S < L; ++S) {
+      if (src_rows[S].empty()) continue;
+      const nn::Var got = tape.rows(f_of_level(S), std::move(src_rows[S]));
+      parts.push_back(
+          tape.segment_sum_rows(got, std::move(src_pos[S]), n_children));
+    }
+    const nn::Var F = parts.size() == 1 ? parts[0] : tape.addn(parts);
+    nn::Var agg = tape.segment_sum_rows(F, std::move(seg_dst), level.size());
+    if (config_.two_level_aggregation) agg = g_node_.apply(tape, agg);
+    level_mat[L] = tape.add(agg, tape.rows(P, level));
+  }
 
+  std::vector<nn::Var> emb(n);
+  for (std::size_t L = 0; L < levels.size(); ++L) {
+    for (std::size_t i = 0; i < levels[L].size(); ++i) {
+      emb[levels[L][i]] = tape.row(level_mat[L], i);
+    }
+  }
   const nn::Var E = tape.concat_rows(emb);
   if (proj_mat) *proj_mat = P;
   if (node_rows) *node_rows = std::move(emb);
@@ -285,9 +317,9 @@ EpisodeEmbeddings GraphEmbedding::embed_episode(
   std::vector<nn::Var> level_mat(glevels.size());
   // f(e_u) depends only on the child u, so it is computed ONCE per node (one
   // f_node pass over each level's rows, built lazily) and its rows are
-  // gathered per edge — the per-event inference path evaluates f per edge
-  // instead, which duplicates the product for every extra parent. The
-  // gathered rows are bit-identical either way.
+  // gathered per edge — the same dedup embed_nodes_batched applies per graph,
+  // here amortized across every graph of every event. The gathered rows are
+  // bit-identical to per-edge evaluation.
   std::vector<nn::Var> f_mat(glevels.size());
   auto f_of_level = [&](std::size_t S) {
     if (!f_mat[S].valid()) f_mat[S] = f_node_.apply(tape, level_mat[S]);

@@ -89,7 +89,9 @@ class GraphEmbedding {
 
  private:
   // Batched per-node sweep: returns the n x emb_dim node matrix; also exposes
-  // the n x emb_dim projection matrix and per-node row views.
+  // the n x emb_dim projection matrix and per-node row views. Applies Eq. 1's
+  // f once per node per level and gathers the rows per edge (the same message
+  // dedup as embed_episode), so multi-parent nodes cost one f evaluation.
   nn::Var embed_nodes_batched(nn::Tape& tape, const JobGraph& graph,
                               nn::Var* proj_mat,
                               std::vector<nn::Var>* node_rows) const;

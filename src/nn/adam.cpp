@@ -12,6 +12,18 @@ Adam::Adam(ParamSet* params, AdamConfig config)
   }
 }
 
+bool Adam::restore_state(long long steps_taken, std::vector<Matrix> m,
+                         std::vector<Matrix> v) {
+  if (m.size() != m_.size() || v.size() != v_.size()) return false;
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    if (!m[i].same_shape(m_[i]) || !v[i].same_shape(v_[i])) return false;
+  }
+  t_ = steps_taken;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return true;
+}
+
 void Adam::step() {
   ++t_;
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));

@@ -25,6 +25,15 @@ class Adam {
   double lr() const { return config_.lr; }
   long long steps_taken() const { return t_; }
 
+  // Checkpoint access (src/io): the per-parameter first/second moment
+  // accumulators, index-aligned with the bound ParamSet.
+  const std::vector<Matrix>& first_moments() const { return m_; }
+  const std::vector<Matrix>& second_moments() const { return v_; }
+  // Restores optimizer state saved from another Adam bound to a ParamSet of
+  // identical structure; returns false on shape mismatch (state unchanged).
+  bool restore_state(long long steps_taken, std::vector<Matrix> m,
+                     std::vector<Matrix> v);
+
  private:
   ParamSet* params_;
   AdamConfig config_;

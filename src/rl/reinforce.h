@@ -111,6 +111,24 @@ class ReinforceTrainer {
 
   double tau_mean() const { return tau_mean_; }
   const TrainConfig& config() const { return config_; }
+  int iteration() const { return iteration_; }
+
+  // --- Checkpointing (src/io, docs/serving.md) ------------------------------
+  // Writes a versioned binary checkpoint of the full training state: the
+  // agent's config + parameters, the Adam moments, and the trainer's RNG
+  // stream and entropy/curriculum/reward-rate schedules. False on I/O error.
+  bool save_checkpoint(const std::string& path) const;
+  // Restores a checkpoint written by save_checkpoint into this trainer. The
+  // trainer's TrainConfig (env included) and the agent's AgentConfig must
+  // match the checkpoint on every dynamics-affecting field
+  // (num_iterations/num_threads may differ — thread count provably does not
+  // change results); returns false with the trainer untouched otherwise. The
+  // WorkloadSampler cannot be fingerprinted (it is a std::function): the
+  // caller must install the same sampler for the guarantee to hold. After a
+  // successful resume the run continues bit-exactly where the saved one
+  // stopped:
+  //   train(N) == train(k) + save_checkpoint + resume + train(N-k).
+  bool resume(const std::string& path);
 
  private:
   struct EpisodeData {

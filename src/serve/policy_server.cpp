@@ -1,0 +1,122 @@
+#include "serve/policy_server.h"
+
+#include <algorithm>
+
+#include "io/checkpoint.h"
+
+namespace decima::serve {
+
+PolicyServer::PolicyServer(std::unique_ptr<const core::DecimaAgent> policy,
+                           ServeConfig config)
+    : policy_(std::move(policy)), config_(config) {
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+std::unique_ptr<PolicyServer> PolicyServer::from_checkpoint(
+    const std::string& path, ServeConfig config) {
+  std::unique_ptr<const core::DecimaAgent> policy =
+      io::load_policy_agent(path);
+  if (!policy) return nullptr;
+  return std::make_unique<PolicyServer>(std::move(policy), config);
+}
+
+PolicyServer::~PolicyServer() { stop(); }
+
+void PolicyServer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  // call_once also blocks late callers until the winning join completes, so
+  // every stop() returns only after the dispatcher is gone.
+  std::call_once(join_once_, [this] { dispatcher_.join(); });
+}
+
+sim::Action PolicyServer::decide(const sim::ClusterEnv& env) {
+  Request req;
+  req.env = &env;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return sim::Action::none();
+    queue_.push_back(&req);
+  }
+  work_cv_.notify_one();
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return req.done; });
+  return req.action;
+}
+
+void PolicyServer::dispatch_loop() {
+  for (;;) {
+    std::vector<Request*> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and everything answered
+      const std::size_t take =
+          config_.max_batch > 0
+              ? std::min(queue_.size(), static_cast<std::size_t>(config_.max_batch))
+              : queue_.size();
+      batch.assign(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(take));
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+
+    // Inference runs unlocked: the waiting session threads are blocked until
+    // their request is marked done, so their envs cannot change under us.
+    std::vector<sim::Action> actions;
+    if (config_.cross_session_batching) {
+      std::vector<const sim::ClusterEnv*> envs;
+      envs.reserve(batch.size());
+      for (const Request* r : batch) envs.push_back(r->env);
+      actions = policy_->decide_batch(envs);
+    } else {
+      actions.reserve(batch.size());
+      for (const Request* r : batch) actions.push_back(policy_->decide(*r->env));
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.decisions += batch.size();
+      stats_.batches += 1;
+      stats_.max_batch_size =
+          std::max(stats_.max_batch_size,
+                   static_cast<std::uint64_t>(batch.size()));
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i]->action = actions[i];
+        batch[i]->done = true;
+      }
+    }
+    done_cv_.notify_all();
+  }
+}
+
+ServeStats PolicyServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServeStats s = stats_;
+  s.mean_batch_size =
+      s.batches > 0 ? static_cast<double>(s.decisions) /
+                          static_cast<double>(s.batches)
+                    : 0.0;
+  return s;
+}
+
+SessionResult run_session(PolicyServer& server, const sim::EnvConfig& env,
+                          const std::vector<workload::ArrivingJob>& jobs,
+                          sim::Time until) {
+  sim::ClusterEnv cluster(env);
+  workload::load(cluster, jobs);
+  ServedScheduler sched(server);
+  cluster.run(sched, until);
+
+  SessionResult result;
+  result.avg_jct = cluster.avg_jct();
+  result.end_time = cluster.now();
+  result.completed = static_cast<int>(cluster.jcts().size());
+  result.decisions = sched.decisions();
+  return result;
+}
+
+}  // namespace decima::serve

@@ -1,0 +1,126 @@
+// The multi-session serving subsystem (docs/serving.md).
+//
+// Training produces a policy; this layer serves it. A PolicyServer loads a
+// policy checkpoint (io::load_policy_agent) into an immutable snapshot and
+// answers scheduling queries for many concurrent cluster sessions: each
+// session thread drives its own simulated ClusterEnv and blocks on decide()
+// at every scheduling query; a single dispatcher thread drains the request
+// queue and scores all pending sessions' events in ONE forward evaluation
+// (DecimaAgent::decide_batch — cross-session batching, the serving analogue
+// of the episode-batched replay). Decisions are bit-identical to scoring each
+// session alone, so throughput is the only thing batching changes
+// (bench_serve_throughput, BENCH_serve.json).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/agent.h"
+#include "sim/cluster_env.h"
+#include "workload/arrivals.h"
+
+namespace decima::serve {
+
+struct ServeConfig {
+  // Most pending requests one dispatch may coalesce; 0 drains the whole
+  // queue. Decisions do not depend on batch composition, only latency does.
+  int max_batch = 0;
+  // false scores queued requests one at a time (the sequential reference
+  // path of bench_serve_throughput); decisions are identical either way.
+  bool cross_session_batching = true;
+};
+
+struct ServeStats {
+  std::uint64_t decisions = 0;       // requests answered
+  std::uint64_t batches = 0;         // dispatcher wake-ups that did work
+  std::uint64_t max_batch_size = 0;  // largest single coalesced batch
+  double mean_batch_size = 0.0;
+};
+
+class PolicyServer {
+ public:
+  // Takes ownership of the policy snapshot; the server only ever touches it
+  // through the const read-only inference path. The dispatcher thread starts
+  // immediately.
+  explicit PolicyServer(std::unique_ptr<const core::DecimaAgent> policy,
+                        ServeConfig config = {});
+  // Loads a policy checkpoint written by io::save_policy; null on any
+  // checkpoint error.
+  static std::unique_ptr<PolicyServer> from_checkpoint(
+      const std::string& path, ServeConfig config = {});
+  ~PolicyServer();
+
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  // Blocking decision query, called from session threads: enqueues the
+  // session's current state and waits for the dispatcher's answer. Returns
+  // Action::none() once the server is stopped.
+  sim::Action decide(const sim::ClusterEnv& env);
+
+  // Drains outstanding requests and joins the dispatcher. Idempotent; the
+  // destructor calls it.
+  void stop();
+
+  ServeStats stats() const;
+  const core::DecimaAgent& policy() const { return *policy_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    const sim::ClusterEnv* env = nullptr;
+    sim::Action action;
+    bool done = false;
+  };
+
+  void dispatch_loop();
+
+  const std::unique_ptr<const core::DecimaAgent> policy_;
+  const ServeConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // dispatcher waits: work or stop
+  std::condition_variable done_cv_;  // session threads wait: request done
+  std::deque<Request*> queue_;
+  bool stopping_ = false;
+  ServeStats stats_;
+  std::thread dispatcher_;
+  std::once_flag join_once_;  // concurrent stop(): exactly one caller joins
+};
+
+// A Scheduler that routes every scheduling query of one session through the
+// server, so an unmodified ClusterEnv::run() drives a served session.
+class ServedScheduler : public sim::Scheduler {
+ public:
+  explicit ServedScheduler(PolicyServer& server) : server_(server) {}
+  sim::Action schedule(const sim::ClusterEnv& env) override {
+    ++decisions_;
+    return server_.decide(env);
+  }
+  std::string name() const override { return "Decima-served"; }
+  std::size_t decisions() const { return decisions_; }
+
+ private:
+  PolicyServer& server_;
+  std::size_t decisions_ = 0;
+};
+
+// One served cluster session end to end: loads `jobs` into a fresh env and
+// runs it against the server until `until` (or completion).
+struct SessionResult {
+  double avg_jct = 0.0;
+  double end_time = 0.0;
+  int completed = 0;
+  std::size_t decisions = 0;  // scheduling queries the session issued
+};
+SessionResult run_session(PolicyServer& server, const sim::EnvConfig& env,
+                          const std::vector<workload::ArrivingJob>& jobs,
+                          sim::Time until = sim::kInfTime);
+
+}  // namespace decima::serve

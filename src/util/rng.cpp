@@ -1,8 +1,27 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <sstream>
 
 namespace decima {
+
+std::string Rng::state_string() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::set_state_string(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) return false;
+  engine_ = restored;
+  // The [0,1) helper distribution carries no state across draws, but reset it
+  // anyway so a restored Rng cannot depend on implementation details.
+  unit_.reset();
+  return true;
+}
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
   double total = 0.0;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace decima {
@@ -72,6 +73,14 @@ class Rng {
       std::swap(v[i - 1], v[j]);
     }
   }
+
+  // Full engine state as a portable text token stream (the standard streaming
+  // format of mersenne_twister_engine), for bit-exact checkpoint resume: a
+  // restored Rng produces exactly the draw sequence the saved one would have.
+  std::string state_string() const;
+  // Restores a state produced by state_string(); returns false on parse error
+  // (the engine is left unchanged on failure).
+  bool set_state_string(const std::string& state);
 
   // Derive an independent child stream; used to hand sub-seeds to components.
   std::uint64_t fork() {

@@ -43,6 +43,11 @@ class MovingAverage {
   }
   double value() const { return value_; }
   bool initialized() const { return initialized_; }
+  // Restores a snapshot taken via value()/initialized() (checkpoint resume).
+  void restore(double value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
+  }
 
  private:
   double alpha_;

@@ -1,0 +1,253 @@
+// Checkpoint round-trips (src/io): policy save/load bit-exactness, corrupt-
+// and mismatched-file rejection, and the trainer resume-determinism contract
+//   train(N) == train(k) + save_checkpoint + resume + train(N-k)
+// compared bit for bit on every parameter and Adam moment.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/checkpoint.h"
+#include "rl/reinforce.h"
+
+namespace decima {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+sim::EnvConfig tiny_env() {
+  sim::EnvConfig c;
+  c.num_executors = 2;
+  c.enable_moving_delay = false;
+  c.enable_wave_effect = false;
+  c.enable_inflation = false;
+  return c;
+}
+
+sim::JobSpec job(const std::string& name, int tasks, double dur) {
+  sim::JobBuilder b(name);
+  b.stage(tasks, dur);
+  return b.build();
+}
+
+rl::WorkloadSampler skew_sampler() {
+  return [](std::uint64_t) {
+    return workload::batched(
+        {job("long", 16, 1.0), job("short1", 2, 1.0), job("short2", 2, 1.0)});
+  };
+}
+
+rl::TrainConfig train_config() {
+  rl::TrainConfig c;
+  c.num_iterations = 6;
+  c.episodes_per_iter = 4;
+  c.num_threads = 2;
+  c.curriculum = false;
+  c.differential_reward = true;  // exercises the reward-rate moving average
+  c.entropy_weight = 0.05;
+  c.env = tiny_env();
+  c.sampler = skew_sampler();
+  c.seed = 77;
+  return c;
+}
+
+std::vector<std::vector<double>> all_values(const nn::ParamSet& set) {
+  std::vector<std::vector<double>> out;
+  for (const nn::Param* p : set.params()) out.push_back(p->value.raw());
+  return out;
+}
+
+TEST(PolicyCheckpoint, RoundTripIsBitExact) {
+  core::AgentConfig ac;
+  ac.seed = 11;
+  ac.multi_resource = true;  // include the class head in the param set
+  core::DecimaAgent agent(ac);
+  const std::string path = tmp_path("policy_roundtrip.ckpt");
+  ASSERT_TRUE(io::save_policy(agent, path));
+
+  // The embedded config is readable standalone and round-trips every field.
+  const auto embedded = io::read_policy_config(path);
+  ASSERT_TRUE(embedded.has_value());
+  EXPECT_TRUE(io::agent_config_equal(*embedded, ac));
+
+  // Fresh agent from the embedded config, different initial weights.
+  auto loaded = io::load_policy_agent(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_TRUE(io::agent_config_equal(loaded->config(), ac));
+  EXPECT_EQ(all_values(loaded->params()), all_values(agent.params()));
+}
+
+TEST(PolicyCheckpoint, LoadIntoMatchingAgentOverwritesValues) {
+  core::AgentConfig ac;
+  ac.seed = 11;
+  core::DecimaAgent a(ac), b([] {
+    core::AgentConfig c;
+    c.seed = 999;  // same structure, different init
+    return c;
+  }());
+  const std::string path = tmp_path("policy_overwrite.ckpt");
+  ASSERT_TRUE(io::save_policy(a, path));
+  ASSERT_NE(all_values(b.params()), all_values(a.params()));
+  ASSERT_TRUE(io::load_policy(b, path));
+  EXPECT_EQ(all_values(b.params()), all_values(a.params()));
+}
+
+TEST(PolicyCheckpoint, RejectsStructuralMismatch) {
+  core::AgentConfig ac;
+  ac.seed = 11;
+  core::DecimaAgent agent(ac);
+  const std::string path = tmp_path("policy_mismatch.ckpt");
+  ASSERT_TRUE(io::save_policy(agent, path));
+
+  core::AgentConfig other = ac;
+  other.emb_dim = 4;  // different parameter shapes
+  core::DecimaAgent small(other);
+  const auto before = all_values(small.params());
+  EXPECT_FALSE(io::load_policy(small, path));
+  EXPECT_EQ(all_values(small.params()), before) << "failed load must not mutate";
+
+  // Shape-preserving but meaning-changing config: same parameter structure,
+  // different feature normalization — the weights would silently misread
+  // their inputs, so the load must refuse.
+  core::AgentConfig scaled = ac;
+  scaled.features.task_scale = 1.0;
+  core::DecimaAgent rescaled(scaled);
+  EXPECT_FALSE(io::load_policy(rescaled, path));
+}
+
+TEST(PolicyCheckpoint, RejectsCorruptFiles) {
+  core::AgentConfig ac;
+  core::DecimaAgent agent(ac);
+  const std::string path = tmp_path("policy_corrupt.ckpt");
+  ASSERT_TRUE(io::save_policy(agent, path));
+
+  // Truncated file.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(tmp_path("policy_truncated.ckpt"), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_EQ(io::load_policy_agent(tmp_path("policy_truncated.ckpt")), nullptr);
+
+  // Wrong magic.
+  {
+    std::ofstream out(tmp_path("policy_badmagic.ckpt"), std::ios::binary);
+    const std::uint32_t junk = 0xDEADBEEF;
+    out.write(reinterpret_cast<const char*>(&junk), sizeof junk);
+  }
+  EXPECT_EQ(io::load_policy_agent(tmp_path("policy_badmagic.ckpt")), nullptr);
+  EXPECT_EQ(io::load_policy_agent(tmp_path("no_such_file.ckpt")), nullptr);
+}
+
+TEST(TrainerCheckpoint, ResumeContinuesBitExactly) {
+  const std::string path = tmp_path("trainer_resume.ckpt");
+  const int total_iters = 6, split = 3;
+
+  // Uninterrupted run.
+  core::AgentConfig ac;
+  ac.seed = 5;
+  core::DecimaAgent straight_agent(ac);
+  rl::ReinforceTrainer straight(straight_agent, train_config());
+  for (int i = 0; i < total_iters; ++i) straight.iterate();
+
+  // Interrupted run: train(split), checkpoint, then resume in a brand-new
+  // trainer + agent (fresh RNGs, fresh Adam) and finish.
+  {
+    core::DecimaAgent agent(ac);
+    rl::ReinforceTrainer trainer(agent, train_config());
+    for (int i = 0; i < split; ++i) trainer.iterate();
+    ASSERT_TRUE(trainer.save_checkpoint(path));
+  }
+  core::DecimaAgent resumed_agent(ac);
+  rl::ReinforceTrainer resumed(resumed_agent, train_config());
+  ASSERT_TRUE(resumed.resume(path));
+  EXPECT_EQ(resumed.iteration(), split);
+  for (int i = split; i < total_iters; ++i) resumed.iterate();
+
+  EXPECT_EQ(all_values(resumed_agent.params()), all_values(straight_agent.params()));
+}
+
+TEST(TrainerCheckpoint, SaveLoadRestoresAdamAndSchedules) {
+  const std::string path = tmp_path("trainer_state.ckpt");
+  core::AgentConfig ac;
+  ac.seed = 5;
+  auto cfg = train_config();
+  cfg.curriculum = true;
+  cfg.tau_mean_init = 50.0;
+  cfg.tau_mean_growth = 10.0;
+
+  core::DecimaAgent agent(ac);
+  rl::ReinforceTrainer trainer(agent, cfg);
+  trainer.iterate();
+  trainer.iterate();
+  ASSERT_TRUE(trainer.save_checkpoint(path));
+
+  core::DecimaAgent restored_agent(ac);
+  rl::ReinforceTrainer restored(restored_agent, cfg);
+  ASSERT_TRUE(restored.resume(path));
+  EXPECT_EQ(restored.iteration(), 2);
+  EXPECT_EQ(restored.tau_mean(), trainer.tau_mean());
+  EXPECT_EQ(all_values(restored_agent.params()), all_values(agent.params()));
+}
+
+TEST(TrainerCheckpoint, RejectsConfigMismatch) {
+  const std::string path = tmp_path("trainer_mismatch.ckpt");
+  core::AgentConfig ac;
+  ac.seed = 5;
+  {
+    core::DecimaAgent agent(ac);
+    rl::ReinforceTrainer trainer(agent, train_config());
+    trainer.iterate();
+    ASSERT_TRUE(trainer.save_checkpoint(path));
+  }
+
+  // Different learning rate: the checkpoint must be refused.
+  auto other = train_config();
+  other.lr = 5e-4;
+  core::DecimaAgent agent(ac);
+  rl::ReinforceTrainer trainer(agent, other);
+  EXPECT_FALSE(trainer.resume(path));
+  EXPECT_EQ(trainer.iteration(), 0) << "failed resume must not mutate";
+
+  // Different environment (dynamics-affecting even with equal RL knobs).
+  auto env_cfg = train_config();
+  env_cfg.env.num_executors = 3;
+  core::DecimaAgent env_agent(ac);
+  rl::ReinforceTrainer env_trainer(env_agent, env_cfg);
+  EXPECT_FALSE(env_trainer.resume(path));
+
+  // Different agent seed (clone reconstruction fingerprint).
+  core::AgentConfig other_ac = ac;
+  other_ac.seed = 6;
+  core::DecimaAgent other_agent(other_ac);
+  rl::ReinforceTrainer trainer2(other_agent, train_config());
+  EXPECT_FALSE(trainer2.resume(path));
+
+  // num_threads may legitimately differ (determinism is thread-invariant).
+  auto threads = train_config();
+  threads.num_threads = 1;
+  core::DecimaAgent agent3(ac);
+  rl::ReinforceTrainer trainer3(agent3, threads);
+  EXPECT_TRUE(trainer3.resume(path));
+}
+
+TEST(RngState, RoundTripReproducesDrawSequence) {
+  Rng a(123);
+  a.uniform();
+  a.exponential(10.0);
+  const std::string state = a.state_string();
+  Rng b(0);
+  ASSERT_TRUE(b.set_state_string(state));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.fork(), b.fork());
+    EXPECT_EQ(a.uniform(), b.uniform());
+  }
+  EXPECT_FALSE(b.set_state_string("not a valid engine state"));
+}
+
+}  // namespace
+}  // namespace decima

@@ -1,0 +1,254 @@
+// The serving subsystem (src/serve) and the const read-only inference path
+// (DecimaAgent::decide / decide_batch). The load-bearing contract: a served
+// decision is bit-identical to the decision the greedy agent makes alone, no
+// matter how many sessions' events are coalesced into one batch — so served
+// sessions are deterministic regardless of thread timing, and cross-session
+// batching can only change throughput, never behavior.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "io/checkpoint.h"
+#include "serve/policy_server.h"
+
+namespace decima {
+namespace {
+
+// A small diamond DAG (fan-out + join) whose scheduling order matters.
+sim::JobSpec diamond_job(const std::string& name, int tasks, double dur) {
+  sim::JobBuilder b(name);
+  const int root = b.stage(tasks, dur);
+  const int left = b.stage(tasks, dur * 2.0, {root});
+  const int right = b.stage(tasks / 2 + 1, dur, {root});
+  b.stage(tasks, dur, {left, right});
+  return b.build();
+}
+
+std::vector<workload::ArrivingJob> session_jobs(std::uint64_t variant) {
+  const int tasks = 2 + static_cast<int>(variant % 3);
+  return workload::batched({diamond_job("a", tasks, 1.0),
+                            diamond_job("b", tasks + 1, 0.5),
+                            diamond_job("c", 2, 2.0)});
+}
+
+sim::EnvConfig serve_env() {
+  sim::EnvConfig c;
+  c.num_executors = 4;
+  return c;
+}
+
+core::AgentConfig agent_config() {
+  core::AgentConfig c;
+  c.seed = 19;
+  return c;
+}
+
+// Mid-episode env states to query: each env runs its session's jobs with the
+// greedy agent until `until`, leaving realistic in-flight state behind.
+std::vector<std::unique_ptr<sim::ClusterEnv>> mid_episode_envs(
+    core::DecimaAgent& agent, int count, double until) {
+  std::vector<std::unique_ptr<sim::ClusterEnv>> envs;
+  agent.set_mode(core::Mode::kGreedy);
+  for (int s = 0; s < count; ++s) {
+    auto env = std::make_unique<sim::ClusterEnv>(serve_env());
+    workload::load(*env, session_jobs(static_cast<std::uint64_t>(s)));
+    env->run(agent, until);
+    envs.push_back(std::move(env));
+  }
+  return envs;
+}
+
+void expect_same_action(const sim::Action& a, const sim::Action& b) {
+  EXPECT_EQ(a.node.job, b.node.job);
+  EXPECT_EQ(a.node.stage, b.node.stage);
+  EXPECT_EQ(a.limit, b.limit);
+  EXPECT_EQ(a.exec_class, b.exec_class);
+}
+
+TEST(DecideBatch, MatchesSingleSessionDecide) {
+  core::DecimaAgent agent(agent_config());
+  const auto envs = mid_episode_envs(agent, 5, 2.0);
+  std::vector<const sim::ClusterEnv*> ptrs;
+  for (const auto& e : envs) ptrs.push_back(e.get());
+
+  const auto batched = agent.decide_batch(ptrs);
+  ASSERT_EQ(batched.size(), ptrs.size());
+  for (std::size_t s = 0; s < ptrs.size(); ++s) {
+    expect_same_action(batched[s], agent.decide(*ptrs[s]));
+  }
+}
+
+TEST(DecideBatch, MatchesGreedySchedule) {
+  core::DecimaAgent agent(agent_config());
+  const auto envs = mid_episode_envs(agent, 4, 3.0);
+  agent.set_mode(core::Mode::kGreedy);
+  for (const auto& env : envs) {
+    expect_same_action(agent.decide(*env), agent.schedule(*env));
+  }
+}
+
+TEST(DecideBatch, MatchesDecideAcrossAblations) {
+  for (core::LimitEncoding enc :
+       {core::LimitEncoding::kScalarInput, core::LimitEncoding::kSeparateOutputs,
+        core::LimitEncoding::kStageLevel}) {
+    for (bool use_gnn : {true, false}) {
+      core::AgentConfig ac = agent_config();
+      ac.limit_encoding = enc;
+      ac.use_gnn = use_gnn;
+      core::DecimaAgent agent(ac);
+      const auto envs = mid_episode_envs(agent, 3, 2.0);
+      std::vector<const sim::ClusterEnv*> ptrs;
+      for (const auto& e : envs) ptrs.push_back(e.get());
+      const auto batched = agent.decide_batch(ptrs);
+      for (std::size_t s = 0; s < ptrs.size(); ++s) {
+        expect_same_action(batched[s], agent.decide(*ptrs[s]));
+      }
+    }
+  }
+}
+
+TEST(DecideBatch, MatchesDecideMultiResource) {
+  core::AgentConfig ac = agent_config();
+  ac.multi_resource = true;
+  core::DecimaAgent agent(ac);
+
+  sim::EnvConfig env_cfg = serve_env();
+  env_cfg.num_executors = 8;
+  env_cfg.classes = {sim::ExecutorClass{0.5, "small"},
+                     sim::ExecutorClass{1.0, "large"}};
+  std::vector<std::unique_ptr<sim::ClusterEnv>> envs;
+  agent.set_mode(core::Mode::kGreedy);
+  for (int s = 0; s < 4; ++s) {
+    sim::JobBuilder b("mem" + std::to_string(s));
+    const int root = b.stage(2, 1.0, {}, 0.25);
+    b.stage(3, 1.0, {root}, 0.75);  // needs the large class
+    auto env = std::make_unique<sim::ClusterEnv>(env_cfg);
+    workload::load(*env, workload::batched({b.build()}));
+    env->run(agent, 1.0 + 0.5 * s);
+    envs.push_back(std::move(env));
+  }
+  std::vector<const sim::ClusterEnv*> ptrs;
+  for (const auto& e : envs) ptrs.push_back(e.get());
+  const auto batched = agent.decide_batch(ptrs);
+  for (std::size_t s = 0; s < ptrs.size(); ++s) {
+    expect_same_action(batched[s], agent.decide(*ptrs[s]));
+  }
+}
+
+TEST(DecideBatch, EmptyAndFinishedSessionsAnswerNone) {
+  core::DecimaAgent agent(agent_config());
+  sim::ClusterEnv empty(serve_env());  // no jobs at all
+  const auto actions = agent.decide_batch({&empty});
+  EXPECT_FALSE(actions[0].valid());
+  EXPECT_TRUE(agent.decide_batch({}).empty());
+}
+
+std::string checkpoint_of_fresh_agent(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  core::DecimaAgent agent(agent_config());
+  EXPECT_TRUE(io::save_policy(agent, path));
+  return path;
+}
+
+TEST(PolicyServer, ServedSessionMatchesLocalGreedyRun) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_local.ckpt");
+  auto server = serve::PolicyServer::from_checkpoint(ckpt);
+  ASSERT_NE(server, nullptr);
+  const auto jobs = session_jobs(1);
+  const auto served = serve::run_session(*server, serve_env(), jobs);
+
+  core::DecimaAgent local(agent_config());
+  local.set_mode(core::Mode::kGreedy);
+  sim::ClusterEnv env(serve_env());
+  workload::load(env, jobs);
+  env.run(local);
+
+  EXPECT_EQ(served.avg_jct, env.avg_jct());
+  EXPECT_EQ(served.end_time, env.now());
+  EXPECT_EQ(served.completed, static_cast<int>(env.jcts().size()));
+  EXPECT_GT(served.decisions, 0u);
+}
+
+std::vector<serve::SessionResult> run_concurrent_sessions(
+    serve::PolicyServer& server, int sessions) {
+  std::vector<serve::SessionResult> results(
+      static_cast<std::size_t>(sessions));
+  std::vector<std::thread> threads;
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      results[static_cast<std::size_t>(s)] =
+          serve::run_session(server, serve_env(),
+                             session_jobs(static_cast<std::uint64_t>(s)));
+    });
+  }
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+TEST(PolicyServer, CrossSessionBatchingMatchesSequential) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_modes.ckpt");
+  serve::ServeConfig batched_cfg;
+  batched_cfg.cross_session_batching = true;
+  serve::ServeConfig sequential_cfg;
+  sequential_cfg.cross_session_batching = false;
+
+  auto batched = serve::PolicyServer::from_checkpoint(ckpt, batched_cfg);
+  auto sequential = serve::PolicyServer::from_checkpoint(ckpt, sequential_cfg);
+  ASSERT_NE(batched, nullptr);
+  ASSERT_NE(sequential, nullptr);
+
+  const auto rb = run_concurrent_sessions(*batched, 6);
+  const auto rs = run_concurrent_sessions(*sequential, 6);
+  for (std::size_t s = 0; s < rb.size(); ++s) {
+    EXPECT_EQ(rb[s].avg_jct, rs[s].avg_jct) << "session " << s;
+    EXPECT_EQ(rb[s].end_time, rs[s].end_time) << "session " << s;
+    EXPECT_EQ(rb[s].decisions, rs[s].decisions) << "session " << s;
+  }
+}
+
+TEST(PolicyServer, ConcurrentSessionsAreDeterministic) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_determinism.ckpt");
+  auto run_once = [&] {
+    auto server = serve::PolicyServer::from_checkpoint(ckpt);
+    auto results = run_concurrent_sessions(*server, 8);
+    const auto stats = server->stats();
+    std::uint64_t expected = 0;
+    for (const auto& r : results) expected += r.decisions;
+    EXPECT_EQ(stats.decisions, expected);
+    EXPECT_GE(stats.batches, 1u);
+    return results;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].avg_jct, b[s].avg_jct) << "session " << s;
+    EXPECT_EQ(a[s].end_time, b[s].end_time) << "session " << s;
+    EXPECT_EQ(a[s].decisions, b[s].decisions) << "session " << s;
+  }
+}
+
+TEST(PolicyServer, MaxBatchCapsCoalescing) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_maxbatch.ckpt");
+  serve::ServeConfig cfg;
+  cfg.max_batch = 2;
+  auto server = serve::PolicyServer::from_checkpoint(ckpt, cfg);
+  run_concurrent_sessions(*server, 6);
+  EXPECT_LE(server->stats().max_batch_size, 2u);
+}
+
+TEST(PolicyServer, FromCheckpointRejectsBadFiles) {
+  EXPECT_EQ(serve::PolicyServer::from_checkpoint("no_such.ckpt"), nullptr);
+}
+
+TEST(PolicyServer, StopIsIdempotentAndAnswersAfterStopAreNone) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_stop.ckpt");
+  auto server = serve::PolicyServer::from_checkpoint(ckpt);
+  server->stop();
+  server->stop();
+  sim::ClusterEnv env(serve_env());
+  workload::load(env, session_jobs(0));
+  EXPECT_FALSE(server->decide(env).valid());
+}
+
+}  // namespace
+}  // namespace decima
