@@ -1,9 +1,13 @@
 // Serving throughput (docs/serving.md): decisions/sec of the PolicyServer
-// for 1-32 concurrent simulated cluster sessions, cross-session batched
-// dispatch vs the sequential reference path. Decisions are bit-identical in
-// both modes (tests/test_serve.cpp), so the ratio isolates what batching
-// buys: all pending sessions' scheduling events embedded and scored as one
+// for 1-32 concurrent simulated cluster sessions, along two independent
+// axes. (1) cross-session batched dispatch vs the sequential reference
+// path, both with the embedding cache off — isolating what batching buys:
+// all pending sessions' scheduling events embedded and scored as one
 // levelized GNN + policy-head evaluation instead of one per session.
+// (2) the per-session incremental embedding cache
+// (docs/incremental_embedding.md) on top of batched dispatch — isolating
+// what caching buys a long-lived session stream. Decisions are bit-identical
+// in every mode (tests/test_serve.cpp), so the ratios are pure throughput.
 // Writes BENCH_serve.json.
 #include <chrono>
 #include <thread>
@@ -73,14 +77,26 @@ int main() {
   sim::EnvConfig env;
   env.num_executors = 10;
 
-  // Policy checkpoint: a freshly initialized agent (throughput does not care
-  // about training quality, and the weights round-trip bit-exactly anyway).
+  // Policy checkpoints: a freshly initialized agent (throughput does not
+  // care about training quality, and the weights round-trip bit-exactly
+  // anyway), once with the embedding cache off (the batching comparison's
+  // baseline policy) and once with it on.
   core::AgentConfig ac;
   ac.seed = 37;
+  ac.embed_cache = false;
   core::DecimaAgent agent(ac);
   const std::string ckpt = "serve_bench_policy.ckpt";
+  core::AgentConfig cached_ac = ac;
+  cached_ac.embed_cache = true;
+  core::DecimaAgent cached_agent(cached_ac);
+  cached_agent.params().copy_values_from(agent.params());
+  const std::string cached_ckpt = "serve_bench_policy_cached.ckpt";
   if (!io::save_policy(agent, ckpt)) {
     std::cerr << "cannot write " << ckpt << "\n";
+    return 1;
+  }
+  if (!io::save_policy(cached_agent, cached_ckpt)) {
+    std::cerr << "cannot write " << cached_ckpt << "\n";
     return 1;
   }
   std::cout << "policy checkpoint: " << ckpt << " ("
@@ -103,30 +119,39 @@ int main() {
   run_sessions(ckpt, /*batching=*/true, 2, env, session_workloads);
 
   Table t({"sessions", "sequential [dec/s]", "batched [dec/s]", "speedup",
-           "mean batch", "decisions"});
+           "+embed cache [dec/s]", "cache speedup", "mean batch"});
   double speedup_at_max = 0.0;
+  double cache_speedup_at_max = 0.0;
   for (int sessions : session_counts) {
     const RunResult seq =
         run_sessions(ckpt, /*batching=*/false, sessions, env, session_workloads);
     const RunResult bat =
         run_sessions(ckpt, /*batching=*/true, sessions, env, session_workloads);
+    const RunResult cached = run_sessions(cached_ckpt, /*batching=*/true,
+                                          sessions, env, session_workloads);
     const double speedup =
         bat.decisions_per_sec() / std::max(seq.decisions_per_sec(), 1e-12);
+    const double cache_speedup =
+        cached.decisions_per_sec() / std::max(bat.decisions_per_sec(), 1e-12);
     speedup_at_max = speedup;
+    cache_speedup_at_max = cache_speedup;
     t.add_row({fmt_int(sessions), fmt(seq.decisions_per_sec(), 0),
                fmt(bat.decisions_per_sec(), 0), fmt(speedup, 2),
-               fmt(bat.mean_batch, 2),
-               fmt_int(static_cast<long long>(bat.decisions))});
+               fmt(cached.decisions_per_sec(), 0), fmt(cache_speedup, 2),
+               fmt(bat.mean_batch, 2)});
     const std::string key = "sessions" + std::to_string(sessions);
     json.set(key + "_sequential_dps", seq.decisions_per_sec());
     json.set(key + "_batched_dps", bat.decisions_per_sec());
     json.set(key + "_speedup", speedup);
+    json.set(key + "_cached_dps", cached.decisions_per_sec());
+    json.set(key + "_cache_speedup", cache_speedup);
     json.set(key + "_mean_batch", bat.mean_batch);
     json.set(key + "_decisions", static_cast<double>(bat.decisions));
   }
   std::cout << t.to_string();
-  std::cout << "\ncross-session batching speedup at " << max_sessions
-            << " sessions: " << fmt(speedup_at_max, 2) << "x\n";
+  std::cout << "\nat " << max_sessions << " sessions: cross-session batching "
+            << fmt(speedup_at_max, 2) << "x, embedding cache a further "
+            << fmt(cache_speedup_at_max, 2) << "x on top\n";
 
   const std::string path = json.write();
   if (!path.empty()) std::cout << "\n[bench] wrote " << path << "\n";

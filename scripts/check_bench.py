@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json emitters.
+
+Every bench binary that emits BENCH_<name>.json reports within-run ratios of
+a batched/cached path against its reference path as keys ending in
+``speedup`` (e.g. ``gnn_speedup_median``, ``replay_speedup``,
+``n50_d2_speedup``, ``s8_speedup``). Absolute latencies vary with runner
+hardware, but these ratios compare two paths measured in the same process on
+the same machine — if one drops below 1.0 the optimized path has regressed
+behind its own reference, which is exactly the thing that must not land
+silently.
+
+Usage: check_bench.py [--dir build] [--min-ratio 0.9] [--strict-keys k ...]
+
+* every ``*speedup*`` key in every BENCH_*.json must be >= --min-ratio
+  (default 0.9: ratio >= 1.0 with a small tolerance for runner noise);
+* --strict-keys names ratios with a dedicated floor, given as key=floor
+  (used for the headline acceptance ratios, e.g. n50_d2_speedup=1.5);
+* a markdown table of all ratios goes to $GITHUB_STEP_SUMMARY when set;
+* exits 1 on any regression (or if no BENCH files are found at all).
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def collect(bench_dir: Path):
+    """Yields (file, key, value) for every numeric speedup ratio."""
+    files = sorted(bench_dir.glob("BENCH_*.json"))
+    rows = []
+    for path in files:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: cannot parse {path}: {err}", file=sys.stderr)
+            sys.exit(1)
+        for key, value in data.items():
+            if "speedup" in key and isinstance(value, (int, float)):
+                rows.append((path.name, key, float(value)))
+    return files, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default="build", help="directory holding BENCH_*.json")
+    parser.add_argument("--min-ratio", type=float, default=0.9,
+                        help="floor for every speedup ratio (>= 1.0 minus noise tolerance)")
+    parser.add_argument("--strict-keys", nargs="*", default=[],
+                        metavar="KEY=FLOOR",
+                        help="per-key floors, e.g. n50_d2_speedup=1.5")
+    args = parser.parse_args()
+
+    strict = {}
+    for spec in args.strict_keys:
+        key, _, floor = spec.partition("=")
+        try:
+            strict[key] = float(floor)
+        except ValueError:
+            parser.error(f"--strict-keys entry '{spec}' is not KEY=FLOOR")
+
+    files, rows = collect(Path(args.dir))
+    if not files:
+        print(f"error: no BENCH_*.json under {args.dir} — did the benches run?",
+              file=sys.stderr)
+        return 1
+    if not rows:
+        print("error: BENCH files contain no speedup ratios", file=sys.stderr)
+        return 1
+
+    failures = []
+    lines = ["| bench file | ratio | value | floor | status |",
+             "|---|---|---|---|---|"]
+    for fname, key, value in rows:
+        floor = strict.get(key, args.min_ratio)
+        ok = value >= floor
+        if not ok:
+            failures.append((fname, key, value, floor))
+        lines.append(f"| {fname} | `{key}` | {value:.2f} | {floor:.2f} | "
+                     f"{'✅' if ok else '❌ regression'} |")
+    table = "\n".join(lines)
+
+    print(f"checked {len(rows)} ratios across {len(files)} BENCH files "
+          f"(floor {args.min_ratio}, {len(strict)} strict)")
+    print(table)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as summary:
+            summary.write("## Benchmark ratio gate\n\n")
+            summary.write(table + "\n")
+
+    missing_strict = [k for k in strict if all(k != key for _, key, _ in rows)]
+    if missing_strict:
+        print(f"error: strict keys never reported: {missing_strict}",
+              file=sys.stderr)
+        return 1
+    if failures:
+        for fname, key, value, floor in failures:
+            print(f"REGRESSION: {fname}:{key} = {value:.3f} < {floor}",
+                  file=sys.stderr)
+        return 1
+    print("all ratios at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

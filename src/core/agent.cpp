@@ -178,7 +178,17 @@ sim::Action DecimaAgent::schedule(const sim::ClusterEnv& env) {
   // one global row.
   const std::size_t d = static_cast<std::size_t>(config_.emb_dim);
   std::optional<gnn::Embeddings> emb;
-  if (config_.use_gnn) emb = gnn_.embed(tape, graphs);
+  if (config_.use_gnn) {
+    // Inference reuses the previous event's activations when the cache is
+    // on; replay scoring differentiates through the embedding and must
+    // rebuild the tape (and the reference sweep is its own baseline).
+    if (config_.embed_cache && config_.batched_inference && !train) {
+      embed_cache_.ensure_param_version(params_.version());
+      emb = gnn_.embed_cached(tape, graphs, embed_cache_);
+    } else {
+      emb = gnn_.embed(tape, graphs);
+    }
+  }
   std::vector<nn::Var> node_mats(graphs.size());
   nn::Var job_mat, glob;
   if (config_.use_gnn) {
@@ -627,12 +637,15 @@ gnn::EpisodeEmbeddings DecimaAgent::zero_episode_embeddings(
   return emb;
 }
 
-sim::Action DecimaAgent::decide(const sim::ClusterEnv& env) const {
-  return decide_batch({&env})[0];
+sim::Action DecimaAgent::decide(const sim::ClusterEnv& env,
+                                gnn::EmbeddingCache* cache) const {
+  return decide_batch({&env}, {cache})[0];
 }
 
 std::vector<sim::Action> DecimaAgent::decide_batch(
-    const std::vector<const sim::ClusterEnv*>& envs) const {
+    const std::vector<const sim::ClusterEnv*>& envs,
+    const std::vector<gnn::EmbeddingCache*>& caches) const {
+  assert(caches.empty() || caches.size() == envs.size());
   std::vector<sim::Action> out(envs.size(), sim::Action::none());
 
   // Per-session scoring inputs; sessions with nothing to schedule answer
@@ -669,9 +682,27 @@ std::vector<sim::Action> DecimaAgent::decide_batch(
   }
 
   nn::Tape tape(/*track_gradients=*/false);
+  // The size check repeats the precondition assert so a mismatched caches
+  // vector degrades to uncached inference in release builds instead of
+  // indexing out of bounds.
+  const bool cached = config_.use_gnn && config_.embed_cache &&
+                      caches.size() == envs.size();
+  std::vector<gnn::EmbeddingCache*> event_caches;
+  if (cached) {
+    event_caches.resize(K);
+    for (std::size_t t = 0; t < K; ++t) {
+      event_caches[t] = caches[events[t].session];
+      if (event_caches[t]) {
+        event_caches[t]->ensure_param_version(params_.version());
+      }
+    }
+  }
   const gnn::EpisodeEmbeddings emb =
-      config_.use_gnn ? gnn_.embed_episode(tape, graphs, event_of_graph, K)
-                      : zero_episode_embeddings(tape, graphs, K);
+      !config_.use_gnn ? zero_episode_embeddings(tape, graphs, K)
+      : cached         ? gnn_.embed_episode_cached(tape, graphs,
+                                                   event_of_graph, K,
+                                                   event_caches)
+                       : gnn_.embed_episode(tape, graphs, event_of_graph, K);
 
   // Greedy choice over raw logits, replicating pick()'s argmax over
   // Tape::softmax_values exactly — same max/exp/normalize sequence, same

@@ -40,6 +40,13 @@ struct AgentConfig {
   // false falls back to the one-node-at-a-time GNN sweep (the pre-batching
   // reference path; used by equivalence tests and latency benchmarks).
   bool batched_inference = true;
+  // Incremental embedding cache (docs/incremental_embedding.md): inference
+  // keeps the previous event's per-job GNN activations and re-embeds only
+  // nodes whose features changed, plus their ancestors in message flow;
+  // numerically identical to the full recompute. Inference-only — the
+  // replay paths differentiate through the embedding and never use it.
+  // false = re-embed everything every event (the reference behaviour).
+  bool embed_cache = true;
   // Episode-batched REINFORCE replay (docs/training.md): while the recorded
   // actions re-drive the simulator, each scheduling event is snapshotted
   // instead of scored; the snapshots are then evaluated in replay_batch-event
@@ -78,15 +85,22 @@ class DecimaAgent : public sim::Scheduler {
   // --- Read-only inference (the serving path, src/serve) -------------------
   // One greedy decision for `env` on a forward-only tape, touching no agent
   // state: safe to call concurrently from many threads sharing one agent, as
-  // long as nothing mutates the parameters meanwhile.
-  sim::Action decide(const sim::ClusterEnv& env) const;
+  // long as nothing mutates the parameters meanwhile. An optional
+  // caller-owned `cache` makes consecutive decisions for the same session
+  // incremental (config().embed_cache); each cache must only ever be touched
+  // by one thread at a time.
+  sim::Action decide(const sim::ClusterEnv& env,
+                     gnn::EmbeddingCache* cache = nullptr) const;
   // Greedy decisions for many *independent sessions'* scheduling events,
   // batched into one forward evaluation: a cross-session embed_episode (each
   // session = one "event") plus one batched pass per policy head — the
   // serving analogue of the episode-batched replay. Entry i is the decision
-  // for envs[i], bit-identical to decide(*envs[i]).
+  // for envs[i], bit-identical to decide(*envs[i]). `caches`, when
+  // non-empty, must be envs-aligned per-session caches (entries may be
+  // null: that session computes without caching).
   std::vector<sim::Action> decide_batch(
-      const std::vector<const sim::ClusterEnv*>& envs) const;
+      const std::vector<const sim::ClusterEnv*>& envs,
+      const std::vector<gnn::EmbeddingCache*>& caches = {}) const;
 
   // --- Modes ----------------------------------------------------------------
   void set_mode(Mode m) { mode_ = m; }
@@ -123,6 +137,17 @@ class DecimaAgent : public sim::Scheduler {
   // Table 2: the observed mean interarrival time, fed as a feature when
   // features.iat_hint is on.
   void set_observed_iat(double iat) { observed_iat_ = iat; }
+
+  // --- Embedding cache ------------------------------------------------------
+  // Runtime toggle for the schedule()-path cache (tests and A/B benches);
+  // the cache is cleared either way so re-enabling starts from scratch.
+  void set_embed_cache(bool on) {
+    config_.embed_cache = on;
+    embed_cache_.invalidate();
+  }
+  const gnn::EmbeddingCacheStats& embed_cache_stats() const {
+    return embed_cache_.stats();
+  }
 
  private:
   struct Candidate {
@@ -185,6 +210,10 @@ class DecimaAgent : public sim::Scheduler {
   nn::Mlp w_sep_;      // per-limit outputs variant
   nn::Mlp class_head_; // executor-class score
   nn::ParamSet params_;
+
+  // schedule()'s own per-episode-stream cache (serving sessions bring their
+  // own through decide()/decide_batch()).
+  gnn::EmbeddingCache embed_cache_;
 
   Mode mode_ = Mode::kGreedy;
   bool recording_ = false;

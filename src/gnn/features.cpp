@@ -1,6 +1,7 @@
 #include "gnn/features.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/rng.h"
 
@@ -14,11 +15,24 @@ std::vector<JobGraph> extract_graphs(const sim::ClusterEnv& env,
   const double total_execs = static_cast<double>(env.total_executors());
   const double free_execs = static_cast<double>(env.free_executor_count());
 
+  // Fingerprint of the globally-shared feature inputs: the env's executor
+  // state epoch, with the IAT hint value folded in when that column exists
+  // (set_observed_iat changes every row without touching the env).
+  std::uint64_t global_epoch = env.feature_epoch();
+  if (config.iat_hint) {
+    std::uint64_t iat_bits = 0;
+    std::memcpy(&iat_bits, &observed_iat, sizeof(iat_bits));
+    global_epoch ^= iat_bits * 0x9e3779b97f4a7c15ULL;
+  }
+
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     const sim::JobState& job = jobs[j];
     if (!job.arrived || job.done()) continue;
     JobGraph g;
     g.env_job = static_cast<int>(j);
+    g.env_uid = env.uid();
+    g.job_epoch = job.mut_epoch;
+    g.global_epoch = global_epoch;
     const std::size_t n = job.spec.stages.size();
     g.features = nn::Matrix(n, static_cast<std::size_t>(config.dim()));
     g.children = job.children;

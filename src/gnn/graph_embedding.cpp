@@ -5,11 +5,13 @@
 
 namespace decima::gnn {
 
-namespace {
+namespace detail {
 
 // Groups nodes by message-passing depth: level 0 = leaves (no children), and
 // every node's children sit at strictly lower levels. All nodes of one level
-// are independent, so each level is evaluated as one batched matrix.
+// are independent, so each level is evaluated as one batched matrix. Shared
+// with the incremental cache (embedding_cache.cpp), which stores the levels
+// per job and sweeps only the dirty rows of each.
 std::vector<std::vector<std::size_t>> levelize(const JobGraph& graph) {
   const std::size_t n = graph.features.rows();
   std::vector<int> depth(n, 0);
@@ -31,6 +33,10 @@ std::vector<std::vector<std::size_t>> levelize(const JobGraph& graph) {
   return levels;
 }
 
+}  // namespace detail
+
+namespace {
+using detail::levelize;
 }  // namespace
 
 GraphEmbedding::GraphEmbedding(const GnnConfig& config, decima::Rng& rng)

@@ -17,10 +17,18 @@
 #include <memory>
 #include <vector>
 
+#include "gnn/embedding_cache.h"
 #include "gnn/features.h"
 #include "nn/mlp.h"
 
 namespace decima::gnn {
+
+namespace detail {
+// Groups nodes by message-passing depth: level 0 = leaves, every node's
+// children at strictly lower levels (graph_embedding.cpp). Shared by the
+// batched sweeps and the incremental embedding cache.
+std::vector<std::vector<std::size_t>> levelize(const JobGraph& graph);
+}  // namespace detail
 
 struct GnnConfig {
   int feat_dim = 5;
@@ -80,6 +88,29 @@ class GraphEmbedding {
       const std::vector<std::size_t>& event_of_graph,
       std::size_t num_events) const;
 
+  // Incremental inference path (src/gnn/embedding_cache.h): refreshes
+  // `cache` against `graphs` — re-embedding only dirty nodes and their
+  // ancestors in message flow — and returns the embeddings as forward-only
+  // constants on `tape`. Numerically identical to embed() with
+  // config().batched (the cache evaluates the same kernels in the same
+  // order on the dirty rows and re-reduces summaries over mixed
+  // cached/fresh rows). Unlike embed(), the per-node row views (node_emb,
+  // proj) are left empty: no inference consumer reads them, and
+  // materializing n views per graph would tax every event.
+  // Callers must ensure_param_version() first; not usable for training
+  // (constants carry no gradient).
+  Embeddings embed_cached(nn::Tape& tape, const std::vector<JobGraph>& graphs,
+                          EmbeddingCache& cache) const;
+
+  // Cross-session cached embedding (the serving path): graphs of session t
+  // are those with event_of_graph[g] == t and refresh caches[t] (one
+  // per-session cache, nullptr = compute without caching). Produces the
+  // same stacked layout as embed_episode, as tape constants.
+  EpisodeEmbeddings embed_episode_cached(
+      nn::Tape& tape, const std::vector<const JobGraph*>& graphs,
+      const std::vector<std::size_t>& event_of_graph, std::size_t num_events,
+      const std::vector<EmbeddingCache*>& caches) const;
+
   // Per-node embeddings only (used by the supervised expressiveness study).
   std::vector<nn::Var> embed_nodes(nn::Tape& tape, const JobGraph& graph,
                                    std::vector<nn::Var>* proj_out = nullptr) const;
@@ -99,6 +130,18 @@ class GraphEmbedding {
   std::vector<nn::Var> embed_nodes_reference(
       nn::Tape& tape, const JobGraph& graph,
       std::vector<nn::Var>* proj_out) const;
+
+  // Brings `cache`'s entry for `graph` up to date (embedding_cache.cpp):
+  // validates structure and parameters, diffs feature rows unless the epoch
+  // fast path proves the entry clean, and re-embeds dirty subgraphs.
+  const EmbeddingCache::Entry& refresh_cache_entry(const JobGraph& graph,
+                                                   EmbeddingCache& cache) const;
+  // Recomputes `entry` for the nodes in `feat_dirty` (feature rows changed)
+  // and everything downstream of them in message flow.
+  void update_cache_entry(const JobGraph& graph,
+                          const std::vector<std::size_t>& feat_dirty,
+                          EmbeddingCache::Entry& entry,
+                          EmbeddingCacheStats& stats) const;
 
   GnnConfig config_;
   nn::Mlp proj_;    // feat_dim -> emb_dim feature lift

@@ -15,6 +15,7 @@ void write_agent_config(BinaryWriter& w, const core::AgentConfig& c) {
   w.u32(static_cast<std::uint32_t>(c.limit_encoding));
   w.boolean(c.multi_resource);
   w.boolean(c.batched_inference);
+  w.boolean(c.embed_cache);
   w.boolean(c.batched_replay);
   w.u32(static_cast<std::uint32_t>(c.replay_batch));
   w.u32(static_cast<std::uint32_t>(c.limit_step));
@@ -35,6 +36,7 @@ core::AgentConfig read_agent_config(BinaryReader& r) {
   c.limit_encoding = static_cast<core::LimitEncoding>(r.u32());
   c.multi_resource = r.boolean();
   c.batched_inference = r.boolean();
+  c.embed_cache = r.boolean();
   c.batched_replay = r.boolean();
   c.replay_batch = static_cast<int>(r.u32());
   c.limit_step = static_cast<int>(r.u32());
@@ -59,6 +61,7 @@ bool inference_compatible(const core::AgentConfig& a,
 bool agent_config_equal(const core::AgentConfig& a, const core::AgentConfig& b) {
   return inference_compatible(a, b) &&
          a.batched_inference == b.batched_inference &&
+         a.embed_cache == b.embed_cache &&
          a.batched_replay == b.batched_replay &&
          a.replay_batch == b.replay_batch && a.seed == b.seed;
 }
@@ -93,6 +96,7 @@ bool read_param_values(BinaryReader& r, nn::ParamSet& set) {
   for (std::size_t i = 0; i < staged.size(); ++i) {
     set.params()[i]->value = std::move(staged[i]);
   }
+  set.bump_version();
   return true;
 }
 
@@ -164,6 +168,7 @@ bool load_policy(core::DecimaAgent& agent, const std::string& path) {
   for (std::size_t i = 0; i < staged.size(); ++i) {
     params[i]->value = std::move(staged[i]);
   }
+  agent.params().bump_version();
   return true;
 }
 

@@ -28,8 +28,9 @@ namespace decima::io {
 
 constexpr std::uint32_t kPolicyMagic = 0x44504F4Cu;   // "DPOL"
 constexpr std::uint32_t kTrainerMagic = 0x4454524Eu;  // "DTRN"
-constexpr std::uint32_t kPolicyVersion = 1;
-constexpr std::uint32_t kTrainerVersion = 1;
+// Version 2: AgentConfig serialization gained the embed_cache flag.
+constexpr std::uint32_t kPolicyVersion = 2;
+constexpr std::uint32_t kTrainerVersion = 2;
 
 // --- Policy checkpoints ------------------------------------------------------
 

@@ -42,6 +42,7 @@ void Adam::step() {
       value[j] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
     }
   }
+  params_->bump_version();
 }
 
 }  // namespace decima::nn

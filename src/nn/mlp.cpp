@@ -1,5 +1,6 @@
 #include "nn/mlp.h"
 
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -27,6 +28,24 @@ Var Mlp::apply(Tape& tape, Var x) const {
     // One fused node per layer (hidden layers leaky-ReLU, output linear).
     h = tape.linear(h, tape.param(*weights_[l]), tape.param(*biases_[l]),
                     /*leaky=*/l + 1 < weights_.size());
+  }
+  return h;
+}
+
+Matrix Mlp::forward(const Matrix& x) const {
+  Matrix h = x;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    // Mirrors Tape::linear's forward exactly: matmul, then the row-broadcast
+    // bias add, then leaky-ReLU on hidden layers — bit-identical to apply().
+    Matrix out = h.matmul(weights_[l]->value);
+    const Matrix& b = biases_[l]->value;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += b(0, c);
+    }
+    if (l + 1 < weights_.size()) {
+      for (double& v : out.raw()) v = v > 0.0 ? v : 0.2 * v;
+    }
+    h = std::move(out);
   }
   return h;
 }
@@ -82,7 +101,15 @@ void ParamSet::copy_values_from(const ParamSet& other) {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     params_[i]->value = other.params_[i]->value;
   }
+  bump_version();
 }
+
+std::uint64_t ParamSet::next_version() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ParamSet::bump_version() { version_ = next_version(); }
 
 void ParamSet::accumulate_grads_from(const ParamSet& other, double scale) {
   for (std::size_t i = 0; i < params_.size(); ++i) {
@@ -150,6 +177,7 @@ bool load_params(ParamSet& set, const std::string& path) {
     }
     for (double& v : p->value.raw()) in >> v;
   }
+  if (in) set.bump_version();
   return static_cast<bool>(in);
 }
 

@@ -6,6 +6,7 @@
 // units; the total model is ~12.7k parameters.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,14 @@ class Mlp {
   // Applies the network to `x` (n x in_dim) -> (n x out_dim) on `tape`.
   // Hidden activations are leaky ReLU; the output layer is linear.
   Var apply(Tape& tape, Var x) const;
+
+  // Tape-free numeric forward pass: same layers, same kernels, same
+  // arithmetic order as apply() (each layer is Matrix::matmul + bias add +
+  // leaky-ReLU, exactly what Tape::linear's forward computes), so the result
+  // matches apply()'s value bit for bit. Row r of the output depends only on
+  // row r of `x`. This is what the incremental embedding cache
+  // (src/gnn/embedding_cache.h) evaluates dirty rows with.
+  Matrix forward(const Matrix& x) const;
 
   // Initializes weights (He-style scaled uniform) from `rng`. Biases zero.
   void init(Rng& rng);
@@ -66,8 +75,21 @@ class ParamSet {
   double grad_norm() const;
   void clip_grad_norm(double max_norm);
 
+  // Monotone fingerprint of the parameter VALUES, globally unique across
+  // ParamSet instances (so two different policy snapshots never share one).
+  // Every value-mutating entry point bumps it: Adam::step, load_params,
+  // copy_values_from, and the binary checkpoint loaders. The incremental
+  // embedding cache compares it to detect that cached activations were
+  // computed under stale parameters. Direct writes to Param::value bypass
+  // the counter — call bump_version() after such writes.
+  std::uint64_t version() const { return version_; }
+  void bump_version();
+
  private:
+  static std::uint64_t next_version();
+
   std::vector<Param*> params_;
+  std::uint64_t version_ = next_version();
 };
 
 // Saves/loads a ParamSet to a simple text format. Structure (names, shapes)

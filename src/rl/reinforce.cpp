@@ -435,6 +435,7 @@ bool ReinforceTrainer::resume(const std::string& path) {
   for (std::size_t i = 0; i < params.size(); ++i) {
     params[i]->value = std::move(param_values[i]);
   }
+  agent_.params().bump_version();
   if (!adam_.restore_state(adam_steps, std::move(m), std::move(v))) {
     return false;  // unreachable: moment shapes were validated above
   }

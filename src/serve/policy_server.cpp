@@ -33,9 +33,11 @@ void PolicyServer::stop() {
   std::call_once(join_once_, [this] { dispatcher_.join(); });
 }
 
-sim::Action PolicyServer::decide(const sim::ClusterEnv& env) {
+sim::Action PolicyServer::decide(const sim::ClusterEnv& env,
+                                 gnn::EmbeddingCache* cache) {
   Request req;
   req.env = &env;
+  req.cache = cache;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_) return sim::Action::none();
@@ -69,12 +71,19 @@ void PolicyServer::dispatch_loop() {
     std::vector<sim::Action> actions;
     if (config_.cross_session_batching) {
       std::vector<const sim::ClusterEnv*> envs;
+      std::vector<gnn::EmbeddingCache*> caches;
       envs.reserve(batch.size());
-      for (const Request* r : batch) envs.push_back(r->env);
-      actions = policy_->decide_batch(envs);
+      caches.reserve(batch.size());
+      for (const Request* r : batch) {
+        envs.push_back(r->env);
+        caches.push_back(r->cache);
+      }
+      actions = policy_->decide_batch(envs, caches);
     } else {
       actions.reserve(batch.size());
-      for (const Request* r : batch) actions.push_back(policy_->decide(*r->env));
+      for (const Request* r : batch) {
+        actions.push_back(policy_->decide(*r->env, r->cache));
+      }
     }
 
     {

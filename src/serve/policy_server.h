@@ -61,8 +61,15 @@ class PolicyServer {
 
   // Blocking decision query, called from session threads: enqueues the
   // session's current state and waits for the dispatcher's answer. Returns
-  // Action::none() once the server is stopped.
-  sim::Action decide(const sim::ClusterEnv& env);
+  // Action::none() once the server is stopped. `cache` is the session's
+  // incremental embedding cache (ServedScheduler owns one per session):
+  // consecutive queries of a session re-embed only what changed between
+  // them, even when the dispatcher scores the session inside a cross-session
+  // batch. Only the dispatcher touches it while the session blocks, and the
+  // parameter-version check inside the agent clears it when a different
+  // policy snapshot answers (snapshot swap). Null = no caching.
+  sim::Action decide(const sim::ClusterEnv& env,
+                     gnn::EmbeddingCache* cache = nullptr);
 
   // Drains outstanding requests and joins the dispatcher. Idempotent; the
   // destructor calls it.
@@ -75,6 +82,7 @@ class PolicyServer {
  private:
   struct Request {
     const sim::ClusterEnv* env = nullptr;
+    gnn::EmbeddingCache* cache = nullptr;  // session-owned, may be null
     sim::Action action;
     bool done = false;
   };
@@ -101,13 +109,19 @@ class ServedScheduler : public sim::Scheduler {
   explicit ServedScheduler(PolicyServer& server) : server_(server) {}
   sim::Action schedule(const sim::ClusterEnv& env) override {
     ++decisions_;
-    return server_.decide(env);
+    return server_.decide(env, &cache_);
   }
   std::string name() const override { return "Decima-served"; }
   std::size_t decisions() const { return decisions_; }
+  const gnn::EmbeddingCacheStats& embed_cache_stats() const {
+    return cache_.stats();
+  }
 
  private:
   PolicyServer& server_;
+  // The session's incremental embedding cache: this scheduler is the
+  // session, so its lifetime is exactly the cache's stream of events.
+  gnn::EmbeddingCache cache_;
   std::size_t decisions_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/cluster_env.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <stdexcept>
@@ -18,6 +19,8 @@ double JobState::remaining_work() const {
 
 ClusterEnv::ClusterEnv(EnvConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
+  static std::atomic<std::int64_t> uid_counter{1};
+  uid_ = uid_counter.fetch_add(1, std::memory_order_relaxed);
   if (config_.num_executors <= 0) {
     throw std::invalid_argument("num_executors must be positive");
   }
@@ -106,6 +109,7 @@ void ClusterEnv::run(Scheduler& sched, Time until, std::size_t max_actions) {
 void ClusterEnv::handle_arrival(const Event& e) {
   JobState& job = jobs_[static_cast<std::size_t>(e.job)];
   job.arrived = true;
+  ++job.mut_epoch;
   record_job_count_change(now_, +1);
 }
 
@@ -116,6 +120,7 @@ bool ClusterEnv::handle_task_finish(const Event& e) {
   assert(st.running > 0 && ex.busy);
   --st.running;
   ++st.finished;
+  ++job.mut_epoch;  // feature (i): tasks remaining in the stage changed
 
   const StageSpec& spec = job.spec.stages[static_cast<std::size_t>(e.stage)];
   bool needs_scheduling = false;
@@ -127,6 +132,7 @@ bool ClusterEnv::handle_task_finish(const Event& e) {
     // Stage ran out of tasks: the executor frees up (§5.2 event (i)).
     ex.busy = false;
     --job.executors;
+    ++feature_epoch_;  // free-executor count / locality changed for everyone
     needs_scheduling = true;
   }
 
@@ -316,6 +322,8 @@ void ClusterEnv::start_task(int executor_id, NodeRef node) {
     ex.busy = true;
     ex.bound_job = node.job;
     ++job.executors;
+    ++job.mut_epoch;   // feature (iii): executors working on the job changed
+    ++feature_epoch_;  // free-executor count / locality changed for everyone
   }
 
   const bool first_wave = st.finished == 0;

@@ -93,6 +93,14 @@ struct JobState {
   // Total work actually executed so far (inflation included) — used by the
   // work-inflation analysis (Fig. 10e).
   double executed_work = 0.0;
+
+  // Dirty-tracking hook for the incremental embedding cache
+  // (src/gnn/embedding_cache.h): bumped by the simulator on every mutation
+  // that can change this job's feature rows — arrival, task completion, and
+  // executor churn on the job. Together with ClusterEnv::feature_epoch() it
+  // lets the cache skip even the per-row feature diff when a job is
+  // provably untouched since it was last embedded.
+  std::uint64_t mut_epoch = 0;
 };
 
 struct ExecutorState {
@@ -141,6 +149,16 @@ class ClusterEnv {
   // Runnable nodes: stages of arrived, unfinished jobs whose parents have all
   // completed and which still have waiting tasks (the action set A_t of §5.2).
   std::vector<NodeRef> runnable_nodes() const;
+
+  // --- Embedding-cache identity (src/gnn/embedding_cache.h) ----------------
+  // Unique id of this env instance (from a process-wide counter), so cached
+  // per-job activations are never mistaken for another env's job that happens
+  // to share an index.
+  std::int64_t uid() const { return uid_; }
+  // Bumped whenever a globally-shared feature input changes: any executor
+  // busy/binding transition moves the free-executor count (feature iv) or
+  // the per-job locality flag (feature v) for every node of every job.
+  std::uint64_t feature_epoch() const { return feature_epoch_; }
 
   int free_executor_count() const;
   int free_executor_count_of_class(int cls) const;
@@ -207,6 +225,8 @@ class ClusterEnv {
 
   EnvConfig config_;
   Rng rng_;
+  std::int64_t uid_ = 0;
+  std::uint64_t feature_epoch_ = 0;
   Time now_ = 0.0;
   int event_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;

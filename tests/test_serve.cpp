@@ -135,6 +135,55 @@ TEST(DecideBatch, MatchesDecideMultiResource) {
   }
 }
 
+TEST(DecideBatch, SessionCachesMatchUncachedAcrossBatches) {
+  // Per-session embedding caches reused across successive cross-session
+  // batches (the dispatcher pattern) must never change a decision, with
+  // sessions joining and leaving the batch between rounds.
+  core::DecimaAgent agent(agent_config());
+  const auto envs = mid_episode_envs(agent, 5, 2.0);
+  std::vector<gnn::EmbeddingCache> caches(envs.size());
+  for (double until : {2.5, 3.0, 4.0}) {
+    std::vector<const sim::ClusterEnv*> ptrs;
+    std::vector<gnn::EmbeddingCache*> cache_ptrs;
+    for (std::size_t s = 0; s < envs.size(); ++s) {
+      if (until > 2.5 && s == 2) continue;  // session 2 drops out, rejoins
+      ptrs.push_back(envs[s].get());
+      cache_ptrs.push_back(&caches[s]);
+    }
+    const auto batched = agent.decide_batch(ptrs, cache_ptrs);
+    for (std::size_t i = 0; i < ptrs.size(); ++i) {
+      expect_same_action(batched[i], agent.decide(*ptrs[i]));
+    }
+    agent.set_mode(core::Mode::kGreedy);
+    for (const auto& env : envs) env->run(agent, until);  // states advance
+  }
+  std::uint64_t reused = 0;
+  for (const auto& c : caches) {
+    reused += c.stats().graphs_reused + c.stats().epoch_fast_hits;
+  }
+  EXPECT_GT(reused, 0u);
+}
+
+TEST(DecideBatch, SessionCacheSurvivesSnapshotSwap) {
+  // A session keeps its cache while the policy snapshot behind the server
+  // changes: the parameter-version check must invalidate the cached
+  // activations, never serve the old snapshot's embeddings.
+  core::AgentConfig other = agent_config();
+  other.seed = 97;  // different weights
+  core::DecimaAgent before(agent_config());
+  core::DecimaAgent after(other);
+  const auto envs = mid_episode_envs(before, 3, 2.0);
+
+  gnn::EmbeddingCache session_cache;
+  for (const auto& env : envs) {
+    before.decide(*env, &session_cache);  // warm under the old snapshot
+  }
+  for (const auto& env : envs) {
+    expect_same_action(after.decide(*env, &session_cache),
+                       after.decide(*env));
+  }
+}
+
 TEST(DecideBatch, EmptyAndFinishedSessionsAnswerNone) {
   core::DecimaAgent agent(agent_config());
   sim::ClusterEnv empty(serve_env());  // no jobs at all
