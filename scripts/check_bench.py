@@ -11,13 +11,18 @@ behind its own reference, which is exactly the thing that must not land
 silently.
 
 Usage: check_bench.py [--dir build] [--min-ratio 0.9] [--strict-keys k ...]
+                      [--allow-missing]
 
 * every ``*speedup*`` key in every BENCH_*.json must be >= --min-ratio
   (default 0.9: ratio >= 1.0 with a small tolerance for runner noise);
-* --strict-keys names ratios with a dedicated floor, given as key=floor
-  (used for the headline acceptance ratios, e.g. n50_d2_speedup=1.5);
+* BENCH_REGISTRY below lists every known emitter with its per-key strict
+  floors (the headline acceptance ratios); --strict-keys KEY=FLOOR overrides
+  a floor from the command line;
+* every registered file must be present (--allow-missing relaxes this for
+  local partial runs) and every present BENCH file must be registered;
 * a markdown table of all ratios goes to $GITHUB_STEP_SUMMARY when set;
-* exits 1 on any regression (or if no BENCH files are found at all).
+* exits 1 on any regression, with a clear error (never a traceback) on
+  missing or malformed BENCH files.
 """
 
 import argparse
@@ -26,21 +31,100 @@ import os
 import sys
 from pathlib import Path
 
+# Registry of every BENCH_*.json emitter and the floors its headline ratios
+# must meet (keys not listed fall back to --min-ratio). scripts/
+# check_invariants.py cross-checks this table against bench/*.cpp in both
+# directions: an emitter missing here bypasses the gate (lint error), an
+# entry with no emitter is stale (lint error).
+BENCH_REGISTRY = {
+    "BENCH_embed_cache.json": {"n50_d2_speedup": 1.5},
+    "BENCH_fig12.json": {},
+    "BENCH_serve.json": {},
+    "BENCH_train.json": {},
+}
 
-def collect(bench_dir: Path):
-    """Yields (file, key, value) for every numeric speedup ratio."""
+
+class BenchError(Exception):
+    """A malformed/missing BENCH input — reported, never tracebacked."""
+
+
+def load_bench_file(path: Path) -> dict:
+    """Parses one BENCH_*.json, raising BenchError with a clear message on
+    unreadable files, invalid JSON, or a non-object top level."""
+    try:
+        text = path.read_text()
+    except OSError as err:
+        raise BenchError(f"cannot read {path}: {err}") from err
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise BenchError(
+            f"{path} is not valid JSON ({err}) — did the bench crash "
+            f"mid-write?") from err
+    if not isinstance(data, dict):
+        raise BenchError(
+            f"{path} must hold a flat JSON object of key/value metrics, "
+            f"got {type(data).__name__}")
+    return data
+
+
+def collect_rows(bench_dir: Path, registry=None, allow_missing=False):
+    """Returns (files, rows) where rows is [(file, key, value)] for every
+    numeric speedup ratio. Raises BenchError on missing/unregistered/
+    malformed files."""
+    if not bench_dir.is_dir():
+        raise BenchError(
+            f"bench directory {bench_dir} does not exist — did the benches "
+            f"run?")
     files = sorted(bench_dir.glob("BENCH_*.json"))
+    if registry is not None:
+        present = {f.name for f in files}
+        unregistered = sorted(present - set(registry))
+        if unregistered:
+            raise BenchError(
+                f"unregistered BENCH files {unregistered} — add them to "
+                f"BENCH_REGISTRY in {__file__} so their ratios are gated")
+        missing = sorted(set(registry) - present)
+        if missing and not allow_missing:
+            raise BenchError(
+                f"registered BENCH files missing from {bench_dir}: "
+                f"{missing} (run the benches, or pass --allow-missing for "
+                f"a partial local run)")
     rows = []
     for path in files:
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as err:
-            print(f"error: cannot parse {path}: {err}", file=sys.stderr)
-            sys.exit(1)
+        data = load_bench_file(path)
         for key, value in data.items():
-            if "speedup" in key and isinstance(value, (int, float)):
+            if "speedup" in key and isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
                 rows.append((path.name, key, float(value)))
     return files, rows
+
+
+def floor_for(fname: str, key: str, min_ratio: float, strict=None,
+              registry=None):
+    """Floor precedence: CLI --strict-keys > registry per-file floor >
+    --min-ratio."""
+    if strict and key in strict:
+        return strict[key]
+    if registry and key in registry.get(fname, {}):
+        return registry[fname][key]
+    return min_ratio
+
+
+def check_rows(rows, min_ratio, strict=None, registry=None):
+    """Returns (failures, table_lines); a failure is (file, key, value,
+    floor)."""
+    failures = []
+    lines = ["| bench file | ratio | value | floor | status |",
+             "|---|---|---|---|---|"]
+    for fname, key, value in rows:
+        floor = floor_for(fname, key, min_ratio, strict, registry)
+        ok = value >= floor
+        if not ok:
+            failures.append((fname, key, value, floor))
+        lines.append(f"| {fname} | `{key}` | {value:.2f} | {floor:.2f} | "
+                     f"{'✅' if ok else '❌ regression'} |")
+    return failures, lines
 
 
 def main():
@@ -50,7 +134,10 @@ def main():
                         help="floor for every speedup ratio (>= 1.0 minus noise tolerance)")
     parser.add_argument("--strict-keys", nargs="*", default=[],
                         metavar="KEY=FLOOR",
-                        help="per-key floors, e.g. n50_d2_speedup=1.5")
+                        help="per-key floor overrides, e.g. n50_d2_speedup=1.5")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate registered BENCH files that were not produced "
+                             "(partial local runs)")
     args = parser.parse_args()
 
     strict = {}
@@ -61,7 +148,12 @@ def main():
         except ValueError:
             parser.error(f"--strict-keys entry '{spec}' is not KEY=FLOOR")
 
-    files, rows = collect(Path(args.dir))
+    try:
+        files, rows = collect_rows(Path(args.dir), BENCH_REGISTRY,
+                                   args.allow_missing)
+    except BenchError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
     if not files:
         print(f"error: no BENCH_*.json under {args.dir} — did the benches run?",
               file=sys.stderr)
@@ -70,16 +162,7 @@ def main():
         print("error: BENCH files contain no speedup ratios", file=sys.stderr)
         return 1
 
-    failures = []
-    lines = ["| bench file | ratio | value | floor | status |",
-             "|---|---|---|---|---|"]
-    for fname, key, value in rows:
-        floor = strict.get(key, args.min_ratio)
-        ok = value >= floor
-        if not ok:
-            failures.append((fname, key, value, floor))
-        lines.append(f"| {fname} | `{key}` | {value:.2f} | {floor:.2f} | "
-                     f"{'✅' if ok else '❌ regression'} |")
+    failures, lines = check_rows(rows, args.min_ratio, strict, BENCH_REGISTRY)
     table = "\n".join(lines)
 
     print(f"checked {len(rows)} ratios across {len(files)} BENCH files "

@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint: the rules the compilers cannot check.
+
+Four standing invariants, enforced at zero findings by the CI
+``static-analysis`` job (and by ``ctest -R check_invariants`` locally):
+
+1. **sync-primitives** — no raw ``std::mutex`` / ``std::condition_variable``
+   / lock guards outside ``src/util/sync.h``. Every lock goes through the
+   annotated ``util::Mutex`` wrappers so Clang's ``-Wthread-safety``
+   analysis sees it (docs/concurrency.md).
+2. **fast-path-pairing** — every ``*_batched`` / ``*_cached`` / ``*_batch``
+   entry point declared in a ``src/**`` header has a reference-path sibling
+   in the same header (``<base>()`` or ``<base>_reference()``) and is pinned
+   by an equivalence test in ``tests/``. Fast paths must stay pure
+   performance changes.
+3. **fp-flags** — no ``-ffast-math`` family flag anywhere, and the
+   ``-ffp-contract=off`` guard stays in CMakeLists.txt. FMA contraction
+   would silently break the <=1e-10 batched/reference equivalence contract.
+4. **bench-registry** — every bench that emits ``BENCH_<name>.json``
+   (``bench::BenchJson``) is registered in ``scripts/check_bench.py``'s
+   ``BENCH_REGISTRY`` floor table, and vice versa, so no perf emitter can
+   bypass the CI ratio gate.
+
+Exits 0 with a one-line summary when clean; prints every finding as
+``file:line: [rule] message`` and exits 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# --- rule 1: annotated sync primitives only ---------------------------------
+
+SYNC_HOME = Path("src/util/sync.h")  # the one file allowed to name these
+FORBIDDEN_SYNC = [
+    "std::mutex",
+    "std::timed_mutex",
+    "std::recursive_mutex",
+    "std::shared_mutex",
+    "std::condition_variable",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::scoped_lock",
+    "std::shared_lock",
+    "pthread_mutex",
+    "pthread_cond",
+]
+
+# --- rule 2: fast paths need a reference sibling and an equivalence pin -----
+
+FAST_SUFFIXES = ("_batched", "_cached", "_batch")
+
+# Entry points whose reference sibling does not follow the <base>() /
+# <base>_reference() naming convention.
+IRREGULAR_SIBLINGS = {
+    # The per-event replay loop is the reference for the one-tape batch.
+    "score_replay_batch": "score_replay_events",
+}
+
+# Entry points pinned through a config flag rather than by name: the named
+# test file must exist and contain the token (the flag that flips the fast
+# path against its reference).
+FLAG_PINNED = {
+    "embed_nodes_batched": ("test_batched_equivalence.cpp", "GnnConfig::batched"),
+    "score_replay_batch": ("test_batched_equivalence.cpp", "batched_replay"),
+}
+
+# Suffix matches that are not fast paths at all (documented here, not
+# silently skipped): sample_tpch_batch draws a batch of workload samples —
+# there is no single-sample "reference algorithm" it must match.
+EXEMPT_FAST_PATHS = {"sample_tpch_batch"}
+
+# --- rule 3: float-contraction guard ----------------------------------------
+
+FORBIDDEN_FP_FLAGS = [
+    "-ffast-math",
+    "-funsafe-math-optimizations",
+    "-fassociative-math",
+    "-freciprocal-math",
+    "-ffp-contract=fast",
+    "FP_CONTRACT ON",
+]
+REQUIRED_FP_GUARD = "-ffp-contract=off"
+
+# ----------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out //, /* */ comments and "..." literals, preserving line
+    structure so finding line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def cxx_files():
+    for top in ("src", "bench", "examples", "tests"):
+        yield from sorted((REPO / top).rglob("*.h"))
+        yield from sorted((REPO / top).rglob("*.cpp"))
+
+
+def findings_sync_primitives():
+    found = []
+    for path in cxx_files():
+        rel = path.relative_to(REPO)
+        if rel == SYNC_HOME:
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            for token in FORBIDDEN_SYNC:
+                if token in line:
+                    found.append(
+                        (rel, lineno, "sync-primitives",
+                         f"raw {token} — use util::Mutex / util::MutexLock / "
+                         f"util::CondVar from src/util/sync.h so the locking "
+                         f"discipline stays inside -Wthread-safety"))
+    return found
+
+
+def findings_fast_path_pairing():
+    found = []
+    decl_re = re.compile(
+        r"\b([A-Za-z_]\w*?)(" + "|".join(FAST_SUFFIXES) + r")\s*\(")
+    tests_dir = REPO / "tests"
+    test_texts = {p.name: p.read_text() for p in sorted(tests_dir.glob("*.cpp"))}
+
+    for path in sorted((REPO / "src").rglob("*.h")):
+        rel = path.relative_to(REPO)
+        code = strip_comments_and_strings(path.read_text())
+        seen = set()
+        for m in decl_re.finditer(code):
+            base, suffix = m.group(1), m.group(2)
+            name = base + suffix
+            if name in seen or name in EXEMPT_FAST_PATHS:
+                continue
+            seen.add(name)
+            lineno = code.count("\n", 0, m.start()) + 1
+
+            sibling = IRREGULAR_SIBLINGS.get(name)
+            candidates = [sibling] if sibling else [base, base + "_reference"]
+            if not any(
+                    re.search(rf"\b{re.escape(c)}\s*\(", code) for c in candidates):
+                found.append(
+                    (rel, lineno, "fast-path-pairing",
+                     f"{name}() has no reference-path sibling "
+                     f"({' / '.join(c + '()' for c in candidates)}) in this "
+                     f"header — every fast path keeps its reference path"))
+
+            if name in FLAG_PINNED:
+                test_file, token = FLAG_PINNED[name]
+                text = test_texts.get(test_file, "")
+                if token not in text:
+                    found.append(
+                        (rel, lineno, "fast-path-pairing",
+                         f"{name}() is registered as pinned by {test_file} "
+                         f"via '{token}', but that token is missing there"))
+            elif not any(name in text for text in test_texts.values()):
+                found.append(
+                    (rel, lineno, "fast-path-pairing",
+                     f"{name}() appears in no tests/*.cpp — add it to the "
+                     f"equivalence suite (or register a config-flag pin in "
+                     f"scripts/check_invariants.py FLAG_PINNED)"))
+    return found
+
+
+def findings_fp_flags():
+    found = []
+    cmake = REPO / "CMakeLists.txt"
+    targets = [cmake] + list(cxx_files())
+    for path in targets:
+        rel = path.relative_to(REPO)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for flag in FORBIDDEN_FP_FLAGS:
+                if flag in line:
+                    found.append(
+                        (rel, lineno, "fp-flags",
+                         f"'{flag}' would let FMA contraction / reassociation "
+                         f"break the <=1e-10 batched-vs-reference equivalence "
+                         f"contract"))
+    if REQUIRED_FP_GUARD not in cmake.read_text():
+        found.append(
+            (cmake.relative_to(REPO), 1, "fp-flags",
+             f"CMakeLists.txt lost the {REQUIRED_FP_GUARD} guard next to "
+             f"-march=native"))
+    return found
+
+
+def findings_bench_registry():
+    found = []
+    emitter_re = re.compile(r'BenchJson\s+\w+\s*\(\s*"([^"]+)"')
+    emitters = {}  # json file name -> (source, line)
+    for path in sorted((REPO / "bench").glob("*.cpp")):
+        rel = path.relative_to(REPO)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            m = emitter_re.search(line)
+            if m:
+                emitters[f"BENCH_{m.group(1)}.json"] = (rel, lineno)
+
+    check_bench = REPO / "scripts" / "check_bench.py"
+    registered = set(
+        re.findall(r'"(BENCH_[A-Za-z0-9_]+\.json)"', check_bench.read_text()))
+
+    for fname, (rel, lineno) in sorted(emitters.items()):
+        if fname not in registered:
+            found.append(
+                (rel, lineno, "bench-registry",
+                 f"{fname} is emitted here but not registered in "
+                 f"scripts/check_bench.py BENCH_REGISTRY — its ratios would "
+                 f"bypass the CI perf gate"))
+    for fname in sorted(registered - set(emitters)):
+        found.append(
+            (check_bench.relative_to(REPO), 1, "bench-registry",
+             f"{fname} is registered in BENCH_REGISTRY but no bench/*.cpp "
+             f"emits it — stale entry"))
+    return found
+
+
+def main() -> int:
+    rules = [
+        findings_sync_primitives,
+        findings_fast_path_pairing,
+        findings_fp_flags,
+        findings_bench_registry,
+    ]
+    findings = []
+    for rule in rules:
+        findings.extend(rule())
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if findings:
+        print(f"\n{len(findings)} invariant finding(s)", file=sys.stderr)
+        return 1
+    n_files = sum(1 for _ in cxx_files())
+    print(f"check_invariants: {len(rules)} rules over {n_files} files, "
+          f"0 findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,9 @@
 // One-stop experiment runner: builds an environment, loads a workload, runs a
 // scheduler, and returns the metrics every bench/test consumes.
+//
+// Thread-safety: stateless free functions; safe from concurrent threads as
+// long as each call owns its env/scheduler (the rollout-worker pattern,
+// docs/concurrency.md) — which is why no util/sync.h lock lives here.
 #pragma once
 
 #include <vector>

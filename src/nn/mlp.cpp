@@ -105,6 +105,10 @@ void ParamSet::copy_values_from(const ParamSet& other) {
 }
 
 std::uint64_t ParamSet::next_version() {
+  // Process-wide and callable from any thread (parallel replay workers bump
+  // versions concurrently); relaxed is enough because only uniqueness
+  // matters — version values are compared for equality, never ordered
+  // across threads (docs/concurrency.md).
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }

@@ -271,7 +271,11 @@ IterationStats ReinforceTrainer::iterate() {
   workers.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) workers.push_back(agent_.clone());
 
-  // (3) Parallel rollouts.
+  // (3) Parallel rollouts. Lock-free by ownership, not by luck
+  // (docs/concurrency.md): episode i is touched only by the worker that owns
+  // index i (stride-striped), each worker drives its own cloned agent and
+  // pre-forked RNG seeds, and the join below is the only synchronization —
+  // results are reduced on this thread afterwards.
   const auto t_rollout = Clock::now();
   std::vector<EpisodeData> episodes(static_cast<std::size_t>(n));
   {
@@ -341,7 +345,9 @@ IterationStats ReinforceTrainer::iterate() {
     }
   }
 
-  // (5) Parallel replays accumulate gradients into each worker's params.
+  // (5) Parallel replays accumulate gradients into each worker's params —
+  // same ownership discipline as (3): per-worker params, join barrier,
+  // deterministic single-threaded reduction in (6).
   const auto t_replay = Clock::now();
   {
     const int threads = std::max(1, std::min(config_.num_threads, n));

@@ -1,6 +1,7 @@
 #include "serve/policy_server.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "io/checkpoint.h"
 
@@ -8,7 +9,7 @@ namespace decima::serve {
 
 PolicyServer::PolicyServer(std::unique_ptr<const core::DecimaAgent> policy,
                            ServeConfig config)
-    : policy_(std::move(policy)), config_(config) {
+    : config_(config), policy_(std::move(policy)) {
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -24,7 +25,7 @@ PolicyServer::~PolicyServer() { stop(); }
 
 void PolicyServer::stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -39,31 +40,60 @@ sim::Action PolicyServer::decide(const sim::ClusterEnv& env,
   req.env = &env;
   req.cache = cache;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     if (stopping_) return sim::Action::none();
     queue_.push_back(&req);
   }
   work_cv_.notify_one();
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return req.done; });
+  {
+    util::MutexLock lk(mu_);
+    while (!req.done) done_cv_.wait(mu_);
+  }
   return req.action;
+}
+
+void PolicyServer::swap_policy(
+    std::unique_ptr<const core::DecimaAgent> policy) {
+  if (!policy) return;
+  // The retired snapshot leaves the lock scope before it dies: in-flight
+  // batches still pin it, and ~DecimaAgent under mu_ would stall dispatch.
+  std::shared_ptr<const core::DecimaAgent> retired;
+  {
+    util::MutexLock lk(mu_);
+    retired = std::move(policy_);
+    policy_ = std::move(policy);
+    ++stats_.snapshot_swaps;
+  }
+}
+
+bool PolicyServer::swap_policy_from_checkpoint(const std::string& path) {
+  std::unique_ptr<const core::DecimaAgent> policy =
+      io::load_policy_agent(path);
+  if (!policy) return false;
+  swap_policy(std::move(policy));
+  return true;
 }
 
 void PolicyServer::dispatch_loop() {
   for (;;) {
     std::vector<Request*> batch;
+    std::shared_ptr<const core::DecimaAgent> policy;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lk(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping, and everything answered
       const std::size_t take =
           config_.max_batch > 0
-              ? std::min(queue_.size(), static_cast<std::size_t>(config_.max_batch))
+              ? std::min(queue_.size(),
+                         static_cast<std::size_t>(config_.max_batch))
               : queue_.size();
       batch.assign(queue_.begin(),
                    queue_.begin() + static_cast<std::ptrdiff_t>(take));
       queue_.erase(queue_.begin(),
                    queue_.begin() + static_cast<std::ptrdiff_t>(take));
+      // Pin this batch's snapshot: swap_policy may publish a new one while
+      // we score unlocked, and the whole batch must answer from one policy.
+      policy = policy_;
     }
 
     // Inference runs unlocked: the waiting session threads are blocked until
@@ -78,16 +108,16 @@ void PolicyServer::dispatch_loop() {
         envs.push_back(r->env);
         caches.push_back(r->cache);
       }
-      actions = policy_->decide_batch(envs, caches);
+      actions = policy->decide_batch(envs, caches);
     } else {
       actions.reserve(batch.size());
       for (const Request* r : batch) {
-        actions.push_back(policy_->decide(*r->env, r->cache));
+        actions.push_back(policy->decide(*r->env, r->cache));
       }
     }
 
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      util::MutexLock lk(mu_);
       stats_.decisions += batch.size();
       stats_.batches += 1;
       stats_.max_batch_size =
@@ -103,13 +133,18 @@ void PolicyServer::dispatch_loop() {
 }
 
 ServeStats PolicyServer::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   ServeStats s = stats_;
   s.mean_batch_size =
       s.batches > 0 ? static_cast<double>(s.decisions) /
                           static_cast<double>(s.batches)
                     : 0.0;
   return s;
+}
+
+std::shared_ptr<const core::DecimaAgent> PolicyServer::policy() const {
+  util::MutexLock lk(mu_);
+  return policy_;
 }
 
 SessionResult run_session(PolicyServer& server, const sim::EnvConfig& env,

@@ -10,19 +10,30 @@
 // of the episode-batched replay). Decisions are bit-identical to scoring each
 // session alone, so throughput is the only thing batching changes
 // (bench_serve_throughput, BENCH_serve.json).
+//
+// Snapshots are hot-swappable: swap_policy() publishes a new agent under the
+// server lock without draining sessions — the dispatcher pins the current
+// snapshot (shared_ptr copy) per batch, in-flight batches finish on the old
+// snapshot, and the per-session embedding caches self-invalidate on the
+// parameter-version mismatch the first time the new snapshot answers them.
+//
+// Locking discipline (docs/concurrency.md): every mutable member is
+// GUARDED_BY(mu_) and the Clang thread-safety analysis proves it at compile
+// time; the only unannotated sharing is the Request handoff, documented at
+// the struct.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag only — locks live in util/sync.h
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/agent.h"
 #include "sim/cluster_env.h"
+#include "util/sync.h"
 #include "workload/arrivals.h"
 
 namespace decima::serve {
@@ -40,6 +51,7 @@ struct ServeStats {
   std::uint64_t decisions = 0;       // requests answered
   std::uint64_t batches = 0;         // dispatcher wake-ups that did work
   std::uint64_t max_batch_size = 0;  // largest single coalesced batch
+  std::uint64_t snapshot_swaps = 0;  // successful swap_policy calls
   double mean_batch_size = 0.0;
 };
 
@@ -69,17 +81,36 @@ class PolicyServer {
   // parameter-version check inside the agent clears it when a different
   // policy snapshot answers (snapshot swap). Null = no caching.
   sim::Action decide(const sim::ClusterEnv& env,
-                     gnn::EmbeddingCache* cache = nullptr);
+                     gnn::EmbeddingCache* cache = nullptr) EXCLUDES(mu_);
+
+  // Publishes `policy` as the snapshot answering every *subsequent* batch;
+  // batches already dispatched finish on the snapshot they pinned. Live
+  // sessions keep their embedding caches — the agent's parameter-version
+  // check invalidates them on first contact with the new snapshot (pinned by
+  // DecideBatch.SessionCacheSurvivesSnapshotSwap). The retired snapshot is
+  // destroyed once the last in-flight batch drops its pin. Null is ignored.
+  void swap_policy(std::unique_ptr<const core::DecimaAgent> policy)
+      EXCLUDES(mu_);
+  // swap_policy from a checkpoint written by io::save_policy; false (and no
+  // swap) on any checkpoint error.
+  bool swap_policy_from_checkpoint(const std::string& path) EXCLUDES(mu_);
 
   // Drains outstanding requests and joins the dispatcher. Idempotent; the
   // destructor calls it.
-  void stop();
+  void stop() EXCLUDES(mu_);
 
-  ServeStats stats() const;
-  const core::DecimaAgent& policy() const { return *policy_; }
+  ServeStats stats() const EXCLUDES(mu_);
+  // The snapshot currently answering queries. Callers get their own pin: the
+  // agent stays alive (and immutable) even if the server swaps or dies.
+  std::shared_ptr<const core::DecimaAgent> policy() const EXCLUDES(mu_);
   const ServeConfig& config() const { return config_; }
 
  private:
+  // One blocking query. The handoff protocol makes the unannotated fields
+  // safe: the owning session thread never reads them between enqueue and the
+  // done_cv_ wakeup that observes `done` under mu_, and the dispatcher never
+  // touches them after setting `done` under mu_ — ownership passes through
+  // the mutex in both directions.
   struct Request {
     const sim::ClusterEnv* env = nullptr;
     gnn::EmbeddingCache* cache = nullptr;  // session-owned, may be null
@@ -87,17 +118,19 @@ class PolicyServer {
     bool done = false;
   };
 
-  void dispatch_loop();
+  void dispatch_loop() EXCLUDES(mu_);
 
-  const std::unique_ptr<const core::DecimaAgent> policy_;
   const ServeConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // dispatcher waits: work or stop
-  std::condition_variable done_cv_;  // session threads wait: request done
-  std::deque<Request*> queue_;
-  bool stopping_ = false;
-  ServeStats stats_;
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;  // dispatcher waits: work or stop
+  util::CondVar done_cv_;  // session threads wait: request done
+  // The live snapshot. shared_ptr so a batch / policy() caller can pin it
+  // across the unlocked inference while swap_policy retires it.
+  std::shared_ptr<const core::DecimaAgent> policy_ GUARDED_BY(mu_);
+  std::deque<Request*> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  ServeStats stats_ GUARDED_BY(mu_);
   std::thread dispatcher_;
   std::once_flag join_once_;  // concurrent stop(): exactly one caller joins
 };

@@ -19,6 +19,9 @@ double JobState::remaining_work() const {
 
 ClusterEnv::ClusterEnv(EnvConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
+  // Envs are constructed from many threads (rollout workers, session
+  // threads); relaxed is enough because the uid is only ever compared for
+  // equality by the embedding cache (docs/concurrency.md).
   static std::atomic<std::int64_t> uid_counter{1};
   uid_ = uid_counter.fetch_add(1, std::memory_order_relaxed);
   if (config_.num_executors <= 0) {

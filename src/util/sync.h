@@ -1,0 +1,124 @@
+// Thread-safety-annotated synchronization primitives (docs/concurrency.md).
+//
+// Every lock in this repository lives behind the wrappers below so that
+// Clang's compile-time thread-safety analysis (-Wthread-safety, promoted to
+// an error by DECIMA_WERROR) can prove the locking discipline: a member
+// declared GUARDED_BY(mu_) is rejected at compile time if any code path
+// touches it without holding mu_, and a function declared REQUIRES(mu)
+// cannot be called without it. GCC (and any compiler without the
+// attributes) compiles the annotations away to nothing, so the wrappers are
+// exactly std::mutex / std::condition_variable at runtime.
+//
+// scripts/check_invariants.py bans raw std::mutex / std::condition_variable
+// / std::lock_guard / std::unique_lock outside this header, so shared state
+// added anywhere in the tree is forced through the analysis.
+//
+// Usage:
+//   util::Mutex mu_;
+//   int shared_ GUARDED_BY(mu_);
+//   util::CondVar cv_;
+//   ...
+//   util::MutexLock lk(mu_);
+//   while (!ready()) cv_.wait(mu_);   // wait() REQUIRES(mu_)
+//   ++shared_;
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// GNU-style attributes carrying Clang's capability analysis; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for semantics.
+#if defined(__clang__)
+#define DECIMA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DECIMA_THREAD_ANNOTATION(x)  // compiled away on GCC and friends
+#endif
+
+// A type that acts as a lock (applies to the Mutex wrapper below).
+#define CAPABILITY(x) DECIMA_THREAD_ANNOTATION(capability(x))
+// An RAII type whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY DECIMA_THREAD_ANNOTATION(scoped_lockable)
+// Data member that may only be read/written while holding the given lock.
+#define GUARDED_BY(x) DECIMA_THREAD_ANNOTATION(guarded_by(x))
+// Pointer member whose *pointee* is guarded by the given lock.
+#define PT_GUARDED_BY(x) DECIMA_THREAD_ANNOTATION(pt_guarded_by(x))
+// Function that must be called with the lock(s) already held.
+#define REQUIRES(...) \
+  DECIMA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// Function that acquires / releases the lock(s) itself.
+#define ACQUIRE(...) DECIMA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) DECIMA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// Function that acquires the lock only when returning the given value.
+#define TRY_ACQUIRE(...) \
+  DECIMA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Function that must NOT be called with the lock held (it takes it itself);
+// catches self-deadlock at compile time.
+#define EXCLUDES(...) DECIMA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Escape hatch for code the analysis cannot follow; every use needs a
+// comment justifying why the access is safe.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DECIMA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace decima::util {
+
+class CondVar;
+
+// std::mutex wearing the capability attribute. Prefer MutexLock over manual
+// lock()/unlock() pairs; the analysis checks both.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() needs the raw handle to sleep on
+  std::mutex mu_;
+};
+
+// RAII lock for Mutex — std::lock_guard with the scoped-capability
+// attribute, so the analysis knows the lock is held for the block.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable waiting on a util::Mutex. wait() REQUIRES the mutex,
+// so the analysis proves every waiter holds the lock it sleeps on — the
+// misuse TSan only catches when a schedule actually trips over it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, sleeps, and reacquires before returning.
+  // Spurious wakeups happen; always wait in a predicate loop.
+  void wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the sleep and
+    // release ownership back to the caller's MutexLock afterwards, so the
+    // annotated lock object stays the single source of truth.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace decima::util

@@ -1,0 +1,164 @@
+// ThreadSanitizer stress for the PolicyServer locking discipline — the exact
+// interleavings src/util/sync.h's annotations claim safe at compile time,
+// exercised at runtime so TSan can veto them: session threads churning
+// (starting, finishing, restarting) while swap_policy() hot-swaps the
+// snapshot under load and readers poll stats()/policy() against the
+// dispatcher. The CI thread-sanitizer job runs this binary; it also runs in
+// the plain suite, where the assertions below (counter conservation,
+// liveness, swap visibility) are the signal.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/policy_server.h"
+
+namespace decima {
+namespace {
+
+core::AgentConfig agent_config(std::uint64_t seed) {
+  core::AgentConfig c;
+  c.seed = seed;
+  return c;
+}
+
+sim::JobSpec chain_job(const std::string& name, int tasks, double dur) {
+  sim::JobBuilder b(name);
+  const int root = b.stage(tasks, dur);
+  b.stage(tasks, dur, {root});
+  return b.build();
+}
+
+std::vector<workload::ArrivingJob> session_jobs(std::uint64_t variant) {
+  const int tasks = 1 + static_cast<int>(variant % 3);
+  return workload::batched({chain_job("s", tasks, 1.0),
+                            chain_job("t", tasks + 1, 0.5)});
+}
+
+sim::EnvConfig serve_env() {
+  sim::EnvConfig c;
+  c.num_executors = 3;
+  return c;
+}
+
+// Session churn + snapshot hot-swap + concurrent readers, all at once. Every
+// session must complete (no decision may be lost across a swap), the served
+// decision counter must conserve the sessions' query counts, and every swap
+// must be visible in stats().
+TEST(ServeStress, SessionChurnUnderSnapshotSwapsAndReaders) {
+  constexpr int kSessionThreads = 4;
+  constexpr int kSessionsPerThread = 3;
+  constexpr int kSwaps = 12;
+
+  auto server = std::make_unique<serve::PolicyServer>(
+      std::make_unique<const core::DecimaAgent>(agent_config(19)));
+
+  std::atomic<std::uint64_t> decisions{0};
+  std::atomic<int> completed_sessions{0};
+  std::vector<std::thread> threads;
+
+  // Churn: each thread runs short sessions back-to-back, so sessions are
+  // continuously joining and leaving the dispatcher's cross-session batches.
+  for (int t = 0; t < kSessionThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int s = 0; s < kSessionsPerThread; ++s) {
+        const auto r = serve::run_session(
+            *server, serve_env(),
+            session_jobs(static_cast<std::uint64_t>(t * 31 + s)));
+        decisions += r.decisions;
+        if (r.completed > 0) ++completed_sessions;
+      }
+    });
+  }
+
+  // Hot-swapper: alternates two different-weight snapshots under load, so
+  // batches straddle retirements and pinned snapshots outlive the swap.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kSwaps; ++i) {
+      server->swap_policy(std::make_unique<const core::DecimaAgent>(
+          agent_config(i % 2 == 0 ? 97 : 19)));
+      std::this_thread::yield();
+    }
+  });
+
+  // Readers: stats() snapshots and policy() pins racing the dispatcher's
+  // stats updates and the swapper's publishes.
+  std::atomic<bool> stop_readers{false};
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (!stop_readers.load()) {
+        const auto s = server->stats();
+        EXPECT_GE(s.decisions, last);  // monotone under one consistent lock
+        last = s.decisions;
+        const auto pinned = server->policy();
+        EXPECT_NE(pinned, nullptr);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  for (int t = 0; t < kSessionThreads + 1; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop_readers = true;
+  for (std::size_t t = kSessionThreads + 1; t < threads.size(); ++t) threads[t].join();
+
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.decisions, decisions.load());
+  EXPECT_EQ(stats.snapshot_swaps, static_cast<std::uint64_t>(kSwaps));
+  EXPECT_EQ(completed_sessions.load(), kSessionThreads * kSessionsPerThread);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+// swap_policy with null must be a no-op, and a snapshot pinned through
+// policy() must stay valid (and answer decide() identically) after the
+// server retires it and even after the server dies.
+TEST(ServeStress, PinnedSnapshotOutlivesSwapAndServer) {
+  auto server = std::make_unique<serve::PolicyServer>(
+      std::make_unique<const core::DecimaAgent>(agent_config(19)));
+
+  const auto pinned = server->policy();
+  server->swap_policy(nullptr);  // ignored
+  EXPECT_EQ(server->stats().snapshot_swaps, 0u);
+
+  server->swap_policy(
+      std::make_unique<const core::DecimaAgent>(agent_config(97)));
+  EXPECT_EQ(server->stats().snapshot_swaps, 1u);
+  EXPECT_NE(server->policy(), pinned);
+
+  sim::ClusterEnv env(serve_env());
+  workload::load(env, session_jobs(0));
+  const auto before = pinned->decide(env);
+  server.reset();  // server gone; the pin keeps the snapshot alive
+  const auto after = pinned->decide(env);
+  EXPECT_EQ(before.node.job, after.node.job);
+  EXPECT_EQ(before.node.stage, after.node.stage);
+  EXPECT_EQ(before.limit, after.limit);
+}
+
+// Concurrent stop() callers: exactly one joins the dispatcher, every caller
+// returns only after it is gone, and queries afterwards answer none. This is
+// the join_once_ race the annotations cannot express (std::once_flag carries
+// its own synchronization), so TSan is the checker here.
+TEST(ServeStress, ConcurrentStopIsIdempotent) {
+  auto server = std::make_unique<serve::PolicyServer>(
+      std::make_unique<const core::DecimaAgent>(agent_config(19)));
+
+  // Load it first so stop() has in-flight history behind it.
+  const auto r = serve::run_session(*server, serve_env(), session_jobs(1));
+  EXPECT_GT(r.decisions, 0u);
+
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 4; ++t) {
+    stoppers.emplace_back([&] { server->stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+
+  sim::ClusterEnv env(serve_env());
+  workload::load(env, session_jobs(2));
+  EXPECT_FALSE(server->decide(env).valid());
+}
+
+}  // namespace
+}  // namespace decima
