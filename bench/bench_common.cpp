@@ -13,6 +13,11 @@ namespace decima::bench {
 int train_iters(int fallback) { return env_int("DECIMA_TRAIN_ITERS", fallback); }
 int bench_runs(int fallback) { return env_int("DECIMA_BENCH_RUNS", fallback); }
 
+std::uint64_t scenario_seed(std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      env_int("DECIMA_SCENARIO_SEED", static_cast<int>(fallback)));
+}
+
 core::AgentConfig agent_with_seed(std::uint64_t seed) {
   core::AgentConfig c;
   c.seed = seed;

@@ -30,6 +30,12 @@ namespace decima::bench {
 int train_iters(int fallback = 60);
 int bench_runs(int fallback = 20);
 
+// Master seed for the robustness scenario suite's fault plans and stress
+// workloads (DECIMA_SCENARIO_SEED): re-seed the whole sweep from the command
+// line without recompiling. Shared by bench_scenarios and any future
+// fault-sweep bench so one knob moves every generator together.
+std::uint64_t scenario_seed(std::uint64_t fallback = 1234);
+
 // Default agent configuration with only the seed set.
 core::AgentConfig agent_with_seed(std::uint64_t seed);
 

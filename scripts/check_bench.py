@@ -15,6 +15,9 @@ Usage: check_bench.py [--dir build] [--min-ratio 0.9] [--strict-keys k ...]
 
 * every ``*speedup*`` key in every BENCH_*.json must be >= --min-ratio
   (default 0.9: ratio >= 1.0 with a small tolerance for runner noise);
+* keys listed in BENCH_REGISTRY are gated at their registered floor even
+  without ``speedup`` in the name (indicator metrics such as the overload
+  invariants, where 1.0 = held), and must be present in their file;
 * BENCH_REGISTRY below lists every known emitter with its per-key strict
   floors (the headline acceptance ratios); --strict-keys KEY=FLOOR overrides
   a floor from the command line;
@@ -39,6 +42,18 @@ from pathlib import Path
 BENCH_REGISTRY = {
     "BENCH_embed_cache.json": {"n50_d2_speedup": 1.5},
     "BENCH_fig12.json": {},
+    "BENCH_scenarios.json": {
+        # Clean scenario: the trained policy must not lose to the WORST
+        # heuristic (the fault scenarios report ungated plain ratios — the
+        # policy may lose there; the suite measures by how much).
+        "clean_policy_vs_worst_heuristic_speedup": 1.0,
+        # Overload indicators (1.0 = invariant held during the serving-plane
+        # saturation phase): every request answered, the bounded queue held
+        # its bound, and saturation actually produced fallback answers.
+        "overload_all_answered": 1.0,
+        "overload_bounded_queue": 1.0,
+        "overload_fallback_nonzero": 1.0,
+    },
     "BENCH_serve.json": {},
     "BENCH_train.json": {},
 }
@@ -70,8 +85,12 @@ def load_bench_file(path: Path) -> dict:
 
 def collect_rows(bench_dir: Path, registry=None, allow_missing=False):
     """Returns (files, rows) where rows is [(file, key, value)] for every
-    numeric speedup ratio. Raises BenchError on missing/unregistered/
-    malformed files."""
+    numeric speedup ratio plus every registry-listed key (some registered
+    floors gate indicator metrics — e.g. the overload invariants — whose
+    keys deliberately avoid ``speedup``). A present file missing one of its
+    registered keys is an error: a silently-dropped gated metric must not
+    pass the gate. Raises BenchError on missing/unregistered/malformed
+    files."""
     if not bench_dir.is_dir():
         raise BenchError(
             f"bench directory {bench_dir} does not exist — did the benches "
@@ -93,10 +112,21 @@ def collect_rows(bench_dir: Path, registry=None, allow_missing=False):
     rows = []
     for path in files:
         data = load_bench_file(path)
+        registered = set(registry.get(path.name, {})) if registry else set()
         for key, value in data.items():
-            if "speedup" in key and isinstance(value, (int, float)) \
+            if ("speedup" in key or key in registered) \
+                    and isinstance(value, (int, float)) \
                     and not isinstance(value, bool):
                 rows.append((path.name, key, float(value)))
+        absent = sorted(
+            k for k in registered
+            if not isinstance(data.get(k), (int, float))
+            or isinstance(data.get(k), bool))
+        if absent:
+            raise BenchError(
+                f"{path.name} is missing (or has non-numeric values for) its "
+                f"registered gated keys {absent} — did the bench change its "
+                f"output without updating BENCH_REGISTRY?")
     return files, rows
 
 

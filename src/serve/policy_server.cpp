@@ -1,9 +1,11 @@
 #include "serve/policy_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "io/checkpoint.h"
+#include "sched/heuristics.h"
 
 namespace decima::serve {
 
@@ -34,22 +36,92 @@ void PolicyServer::stop() {
   std::call_once(join_once_, [this] { dispatcher_.join(); });
 }
 
-sim::Action PolicyServer::decide(const sim::ClusterEnv& env,
-                                 gnn::EmbeddingCache* cache) {
+DecideResult PolicyServer::degraded_answer(const sim::ClusterEnv& env,
+                                           DecideStatus status) const {
+  DecideResult result;
+  result.status = status;
+  if (config_.heuristic_fallback) {
+    // SJF-CP is stateless, cheap (no GNN), and the strongest single
+    // heuristic on average-JCT (§7.2) — the natural degraded-mode policy.
+    sched::SjfCpScheduler fallback;
+    result.action = fallback.schedule(env);
+    result.fallback = true;
+  }
+  return result;
+}
+
+DecideResult PolicyServer::decide_with_status(const sim::ClusterEnv& env,
+                                              gnn::EmbeddingCache* cache) {
   Request req;
   req.env = &env;
   req.cache = cache;
+  bool rejected = false;
   {
     util::MutexLock lk(mu_);
-    if (stopping_) return sim::Action::none();
-    queue_.push_back(&req);
+    if (stopping_) {
+      ++stats_.stopped_answers;
+      return DecideResult{sim::Action::none(), DecideStatus::kStopped, false};
+    }
+    if (config_.max_queue > 0 &&
+        queue_.size() >= static_cast<std::size_t>(config_.max_queue)) {
+      // Backpressure: bounce instead of queueing unboundedly; the request is
+      // answered below by the (lock-free) heuristic and never reaches the
+      // dispatcher.
+      ++stats_.rejections;
+      if (config_.heuristic_fallback) ++stats_.fallbacks;
+      rejected = true;
+    } else {
+      queue_.push_back(&req);
+      stats_.max_queue_depth = std::max(
+          stats_.max_queue_depth, static_cast<std::uint64_t>(queue_.size()));
+    }
   }
+  if (rejected) return degraded_answer(env, DecideStatus::kRejected);
+
   work_cv_.notify_one();
+  const bool has_deadline = config_.deadline > 0.0;
+  const auto submit_time = std::chrono::steady_clock::now();
+  const auto deadline_tp =
+      submit_time + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::duration<double>(config_.deadline));
+  bool timed_out = false;
   {
     util::MutexLock lk(mu_);
-    while (!req.done) done_cv_.wait(mu_);
+    bool enforce_deadline = has_deadline;
+    while (!req.done) {
+      if (!enforce_deadline) {
+        done_cv_.wait(mu_);
+        continue;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline_tp) {
+        const auto it = std::find(queue_.begin(), queue_.end(), &req);
+        if (it != queue_.end()) {
+          // Still queued: withdraw the request before the dispatcher can
+          // claim it, and answer from the fallback.
+          queue_.erase(it);
+          ++stats_.timeouts;
+          if (config_.heuristic_fallback) ++stats_.fallbacks;
+          timed_out = true;
+          break;
+        }
+        // In flight: the dispatcher holds a pointer to this stack frame, so
+        // we MUST wait for its answer (which is about to arrive anyway).
+        enforce_deadline = false;
+        continue;
+      }
+      done_cv_.wait_for(
+          mu_, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   deadline_tp - now));
+    }
   }
-  return req.action;
+  if (timed_out) return degraded_answer(env, DecideStatus::kTimedOut);
+  return DecideResult{req.action, DecideStatus::kOk, false};
+}
+
+sim::Action PolicyServer::decide(const sim::ClusterEnv& env,
+                                 gnn::EmbeddingCache* cache) {
+  return decide_with_status(env, cache).action;
 }
 
 void PolicyServer::swap_policy(
@@ -160,6 +232,7 @@ SessionResult run_session(PolicyServer& server, const sim::EnvConfig& env,
   result.end_time = cluster.now();
   result.completed = static_cast<int>(cluster.jcts().size());
   result.decisions = sched.decisions();
+  result.degradation = sched.degradation();
   return result;
 }
 

@@ -17,6 +17,14 @@
 // snapshot, and the per-session embedding caches self-invalidate on the
 // parameter-version mismatch the first time the new snapshot answers them.
 //
+// The server degrades gracefully under saturation (docs/robustness.md):
+// the queue can be bounded (requests beyond it are rejected — backpressure),
+// queued requests can carry a deadline (timed out if the dispatcher doesn't
+// reach them in time), and rejected/timed-out requests are answered by the
+// SJF-CP heuristic instead of an empty action. Every request resolves with
+// an explicit DecideStatus — ok, timed-out, rejected, or stopped — and
+// every degradation event is counted in ServeStats.
+//
 // Locking discipline (docs/concurrency.md): every mutable member is
 // GUARDED_BY(mu_) and the Clang thread-safety analysis proves it at compile
 // time; the only unannotated sharing is the Request handoff, documented at
@@ -45,14 +53,53 @@ struct ServeConfig {
   // false scores queued requests one at a time (the sequential reference
   // path of bench_serve_throughput); decisions are identical either way.
   bool cross_session_batching = true;
+
+  // --- Graceful degradation (docs/robustness.md) ---------------------------
+  // Bounded queue: a request arriving while max_queue requests are already
+  // pending is rejected (kRejected) instead of enqueued — backpressure, not
+  // unbounded latency. 0 = unbounded (the pre-degradation behavior).
+  int max_queue = 0;
+  // Per-request deadline in seconds: a request still QUEUED this long after
+  // submission gives up (kTimedOut). A request the dispatcher already picked
+  // up always waits for its answer — decisions are never half-delivered.
+  // 0 = no deadline.
+  double deadline = 0.0;
+  // When a request is rejected or times out, answer it from the SJF-CP
+  // heuristic (src/sched) instead of returning Action::none(): the session
+  // keeps making progress on a good-but-not-learned policy while the server
+  // is saturated. Stopped servers never fall back — sessions must wind down.
+  bool heuristic_fallback = true;
 };
 
 struct ServeStats {
-  std::uint64_t decisions = 0;       // requests answered
+  std::uint64_t decisions = 0;       // requests answered by the policy
   std::uint64_t batches = 0;         // dispatcher wake-ups that did work
   std::uint64_t max_batch_size = 0;  // largest single coalesced batch
   std::uint64_t snapshot_swaps = 0;  // successful swap_policy calls
   double mean_batch_size = 0.0;
+  // Degradation events (every one is also a returned DecideResult status —
+  // requests are answered ok/timed-out/rejected/stopped, never dropped).
+  std::uint64_t rejections = 0;       // bounced off a full queue
+  std::uint64_t timeouts = 0;         // deadline expired while queued
+  std::uint64_t fallbacks = 0;        // degraded answers routed to SJF-CP
+  std::uint64_t stopped_answers = 0;  // queries arriving after stop()
+  std::uint64_t max_queue_depth = 0;  // high-water pending-request count
+};
+
+// Why a decision came back the way it did. Replaces the old convention of
+// returning Action::none() for "stopped", which was indistinguishable from a
+// legitimate empty action (no runnable work).
+enum class DecideStatus {
+  kOk,        // answered by the policy snapshot
+  kTimedOut,  // deadline expired while queued
+  kRejected,  // bounced off a full queue (backpressure)
+  kStopped,   // server stopped; no fallback, sessions should wind down
+};
+
+struct DecideResult {
+  sim::Action action;  // Action::none() for kStopped (and fallback-off paths)
+  DecideStatus status = DecideStatus::kOk;
+  bool fallback = false;  // action came from the SJF-CP heuristic
 };
 
 class PolicyServer {
@@ -72,14 +119,25 @@ class PolicyServer {
   PolicyServer& operator=(const PolicyServer&) = delete;
 
   // Blocking decision query, called from session threads: enqueues the
-  // session's current state and waits for the dispatcher's answer. Returns
-  // Action::none() once the server is stopped. `cache` is the session's
+  // session's current state and waits for the dispatcher's answer — or
+  // degrades per the config (kRejected on a full queue, kTimedOut past the
+  // deadline, kStopped once stopped), answering rejected/timed-out requests
+  // from SJF-CP when heuristic_fallback is set. `cache` is the session's
   // incremental embedding cache (ServedScheduler owns one per session):
   // consecutive queries of a session re-embed only what changed between
   // them, even when the dispatcher scores the session inside a cross-session
   // batch. Only the dispatcher touches it while the session blocks, and the
   // parameter-version check inside the agent clears it when a different
-  // policy snapshot answers (snapshot swap). Null = no caching.
+  // policy snapshot answers (snapshot swap). Null = no caching. The fallback
+  // path never touches the cache, so a degraded answer cannot stale it.
+  DecideResult decide_with_status(const sim::ClusterEnv& env,
+                                  gnn::EmbeddingCache* cache = nullptr)
+      EXCLUDES(mu_);
+
+  // Action-only convenience wrapper around decide_with_status. NOTE the
+  // historical ambiguity this API keeps for compatibility: Action::none()
+  // here means EITHER "stopped" or "no runnable work" — callers that care
+  // use decide_with_status.
   sim::Action decide(const sim::ClusterEnv& env,
                      gnn::EmbeddingCache* cache = nullptr) EXCLUDES(mu_);
 
@@ -119,6 +177,10 @@ class PolicyServer {
   };
 
   void dispatch_loop() EXCLUDES(mu_);
+  // Builds the degraded (rejected/timed-out) answer: SJF-CP when
+  // heuristic_fallback is on, Action::none() otherwise.
+  DecideResult degraded_answer(const sim::ClusterEnv& env,
+                               DecideStatus status) const;
 
   const ServeConfig config_;
 
@@ -137,15 +199,37 @@ class PolicyServer {
 
 // A Scheduler that routes every scheduling query of one session through the
 // server, so an unmodified ClusterEnv::run() drives a served session.
+// Per-session tally of how each query resolved; ok + timeouts + rejections +
+// stopped always equals the queries issued — no request is ever lost.
+struct SessionDegradation {
+  std::uint64_t ok = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t stopped = 0;
+  std::uint64_t fallbacks = 0;  // of the above, answered by SJF-CP
+  std::uint64_t answered() const {
+    return ok + timeouts + rejections + stopped;
+  }
+};
+
 class ServedScheduler : public sim::Scheduler {
  public:
   explicit ServedScheduler(PolicyServer& server) : server_(server) {}
   sim::Action schedule(const sim::ClusterEnv& env) override {
     ++decisions_;
-    return server_.decide(env, &cache_);
+    const DecideResult r = server_.decide_with_status(env, &cache_);
+    switch (r.status) {
+      case DecideStatus::kOk: ++degradation_.ok; break;
+      case DecideStatus::kTimedOut: ++degradation_.timeouts; break;
+      case DecideStatus::kRejected: ++degradation_.rejections; break;
+      case DecideStatus::kStopped: ++degradation_.stopped; break;
+    }
+    if (r.fallback) ++degradation_.fallbacks;
+    return r.action;
   }
   std::string name() const override { return "Decima-served"; }
   std::size_t decisions() const { return decisions_; }
+  const SessionDegradation& degradation() const { return degradation_; }
   const gnn::EmbeddingCacheStats& embed_cache_stats() const {
     return cache_.stats();
   }
@@ -156,6 +240,7 @@ class ServedScheduler : public sim::Scheduler {
   // session, so its lifetime is exactly the cache's stream of events.
   gnn::EmbeddingCache cache_;
   std::size_t decisions_ = 0;
+  SessionDegradation degradation_;
 };
 
 // One served cluster session end to end: loads `jobs` into a fresh env and
@@ -165,6 +250,7 @@ struct SessionResult {
   double end_time = 0.0;
   int completed = 0;
   std::size_t decisions = 0;  // scheduling queries the session issued
+  SessionDegradation degradation;  // how each of those queries resolved
 };
 SessionResult run_session(PolicyServer& server, const sim::EnvConfig& env,
                           const std::vector<workload::ArrivingJob>& jobs,

@@ -18,7 +18,9 @@ double JobState::remaining_work() const {
 }
 
 ClusterEnv::ClusterEnv(EnvConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      fault_rng_(config_.faults.seed) {
   // Envs are constructed from many threads (rollout workers, session
   // threads); relaxed is enough because the uid is only ever compared for
   // equality by the embedding cache (docs/concurrency.md).
@@ -38,6 +40,22 @@ ClusterEnv::ClusterEnv(EnvConfig config)
     e.id = i;
     e.cls = i % static_cast<int>(config_.classes.size());
     executors_.push_back(e);
+  }
+  for (const ExecutorFault& f : config_.faults.failures) {
+    if (f.executor < 0 || f.executor >= config_.num_executors) {
+      throw std::invalid_argument("fault plan names an unknown executor");
+    }
+    if (f.fail_at < 0.0 || f.recover_at <= f.fail_at) {
+      throw std::invalid_argument("fault plan outage has an empty time span");
+    }
+  }
+  for (double s : config_.faults.executor_speeds) {
+    if (s <= 0.0) throw std::invalid_argument("executor speeds must be > 0");
+  }
+  if (config_.faults.stragglers.prob < 0.0 ||
+      config_.faults.stragglers.prob > 1.0 ||
+      config_.faults.stragglers.factor <= 0.0) {
+    throw std::invalid_argument("invalid straggler model");
   }
 }
 
@@ -74,9 +92,27 @@ void ClusterEnv::push_event(Event e) {
   queue_.push(e);
 }
 
+void ClusterEnv::schedule_faults() {
+  for (const ExecutorFault& f : config_.faults.failures) {
+    Event fail;
+    fail.time = f.fail_at;
+    fail.kind = Event::Kind::kExecutorFail;
+    fail.executor = f.executor;
+    push_event(fail);
+    if (f.recover_at < kInfTime) {
+      Event rec;
+      rec.time = f.recover_at;
+      rec.kind = Event::Kind::kExecutorRecover;
+      rec.executor = f.executor;
+      push_event(rec);
+    }
+  }
+}
+
 void ClusterEnv::run(Scheduler& sched, Time until, std::size_t max_actions) {
   if (!running_started_) {
     running_started_ = true;
+    schedule_faults();
     sched.reset();
   }
   actions_taken_ = 0;
@@ -103,6 +139,12 @@ void ClusterEnv::run(Scheduler& sched, Time until, std::size_t max_actions) {
         case Event::Kind::kTaskFinish:
           needs_scheduling |= handle_task_finish(e);
           break;
+        case Event::Kind::kExecutorFail:
+          needs_scheduling |= handle_executor_fail(e);
+          break;
+        case Event::Kind::kExecutorRecover:
+          needs_scheduling |= handle_executor_recover(e);
+          break;
       }
     }
     if (needs_scheduling) run_scheduling_event(sched);
@@ -117,9 +159,14 @@ void ClusterEnv::handle_arrival(const Event& e) {
 }
 
 bool ClusterEnv::handle_task_finish(const Event& e) {
+  ExecutorState& ex = executors_[static_cast<std::size_t>(e.executor)];
+  if (e.exec_epoch != ex.fail_epoch) {
+    // The executor failed after this task started: the task was killed and
+    // rescheduled by handle_executor_fail, so its old finish event is void.
+    return false;
+  }
   JobState& job = jobs_[static_cast<std::size_t>(e.job)];
   StageState& st = job.stages[static_cast<std::size_t>(e.stage)];
-  ExecutorState& ex = executors_[static_cast<std::size_t>(e.executor)];
   assert(st.running > 0 && ex.busy);
   --st.running;
   ++st.finished;
@@ -134,6 +181,7 @@ bool ClusterEnv::handle_task_finish(const Event& e) {
   } else {
     // Stage ran out of tasks: the executor frees up (§5.2 event (i)).
     ex.busy = false;
+    ex.cur_stage = -1;
     --job.executors;
     ++feature_epoch_;  // free-executor count / locality changed for everyone
     needs_scheduling = true;
@@ -154,6 +202,47 @@ bool ClusterEnv::handle_task_finish(const Event& e) {
   return needs_scheduling;
 }
 
+bool ClusterEnv::handle_executor_fail(const Event& e) {
+  ExecutorState& ex = executors_[static_cast<std::size_t>(e.executor)];
+  if (ex.failed) return false;  // overlapping outages merge into one
+  bool killed_task = false;
+  if (ex.busy) {
+    // Kill the running task: it goes back to the waiting pool (same
+    // task_index; the killed attempt stays in the trace flagged `killed`),
+    // and its pending finish event is voided by the fail_epoch bump.
+    JobState& job = jobs_[static_cast<std::size_t>(ex.bound_job)];
+    StageState& st = job.stages[static_cast<std::size_t>(ex.cur_stage)];
+    TaskRecord& rec = trace_[ex.cur_trace];
+    job.executed_work -= std::max(0.0, rec.end - std::max(rec.start, now_));
+    --st.running;
+    ++st.waiting;
+    --st.started;  // the re-run reuses this task index
+    rec.killed = true;
+    rec.start = std::min(rec.start, now_);
+    rec.end = now_;
+    ex.busy = false;
+    ex.cur_stage = -1;
+    --job.executors;
+    ++job.mut_epoch;  // features (i)/(iii): waiting tasks & executors changed
+    killed_task = true;
+  }
+  ex.failed = true;
+  ++ex.fail_epoch;
+  ex.bound_job = -1;  // the JVM died; a re-dispatch pays the moving delay
+  ++feature_epoch_;   // free-executor count / locality changed for everyone
+  // A killed task needs re-placement (other executors may be free); a purely
+  // idle failure only shrinks capacity, which no action could exploit.
+  return killed_task;
+}
+
+bool ClusterEnv::handle_executor_recover(const Event& e) {
+  ExecutorState& ex = executors_[static_cast<std::size_t>(e.executor)];
+  if (!ex.failed) return false;
+  ex.failed = false;
+  ++feature_epoch_;  // a free executor (re)appeared
+  return true;       // give the scheduler a shot at the fresh capacity
+}
+
 std::vector<NodeRef> ClusterEnv::runnable_nodes() const {
   std::vector<NodeRef> out;
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
@@ -170,14 +259,16 @@ std::vector<NodeRef> ClusterEnv::runnable_nodes() const {
 
 int ClusterEnv::free_executor_count() const {
   int n = 0;
-  for (const ExecutorState& e : executors_) n += e.busy ? 0 : 1;
+  for (const ExecutorState& e : executors_) {
+    if (!e.busy && !e.failed) ++n;
+  }
   return n;
 }
 
 int ClusterEnv::free_executor_count_of_class(int cls) const {
   int n = 0;
   for (const ExecutorState& e : executors_) {
-    if (!e.busy && e.cls == cls) ++n;
+    if (!e.busy && !e.failed && e.cls == cls) ++n;
   }
   return n;
 }
@@ -185,7 +276,7 @@ int ClusterEnv::free_executor_count_of_class(int cls) const {
 int ClusterEnv::local_free_executors(int job) const {
   int n = 0;
   for (const ExecutorState& e : executors_) {
-    if (!e.busy && e.bound_job == job) ++n;
+    if (!e.busy && !e.failed && e.bound_job == job) ++n;
   }
   return n;
 }
@@ -281,7 +372,7 @@ int ClusterEnv::dispatch(NodeRef node, int count, int exec_class) {
   // (no moving delay), then best-fit by memory to limit fragmentation.
   std::vector<int> eligible;
   for (const ExecutorState& e : executors_) {
-    if (e.busy) continue;
+    if (e.busy || e.failed) continue;
     if (exec_class >= 0) {
       if (e.cls != exec_class) continue;
       if (config_.classes[static_cast<std::size_t>(e.cls)].mem <
@@ -330,11 +421,15 @@ void ClusterEnv::start_task(int executor_id, NodeRef node) {
   }
 
   const bool first_wave = st.finished == 0;
-  const double duration = sample_task_duration(job, node.stage, first_wave);
+  const double duration =
+      sample_task_duration(job, node.stage, first_wave, executor_id);
 
   --st.waiting;
   ++st.running;
   const int task_index = st.started++;
+
+  ex.cur_stage = node.stage;
+  ex.cur_trace = trace_.size();
 
   TaskRecord rec;
   rec.job = node.job;
@@ -355,11 +450,12 @@ void ClusterEnv::start_task(int executor_id, NodeRef node) {
   e.job = node.job;
   e.stage = node.stage;
   e.executor = executor_id;
+  e.exec_epoch = ex.fail_epoch;
   push_event(e);
 }
 
 double ClusterEnv::sample_task_duration(const JobState& job, int stage,
-                                        bool first_wave) {
+                                        bool first_wave, int executor_id) {
   const StageSpec& spec = job.spec.stages[static_cast<std::size_t>(stage)];
   double d = spec.task_duration;
   if (config_.enable_wave_effect && first_wave) d *= config_.first_wave_factor;
@@ -371,6 +467,14 @@ double ClusterEnv::sample_task_duration(const JobState& job, int stage,
   if (config_.duration_noise > 0.0) {
     d *= rng_.lognormal_mean(1.0, config_.duration_noise);
   }
+  // Fault plan (sim/faults.h): stragglers and heterogeneous speeds. Both are
+  // no-ops (and draw nothing) under the default plan.
+  const FaultPlan& faults = config_.faults;
+  if (faults.stragglers.prob > 0.0 &&
+      fault_rng_.bernoulli(faults.stragglers.prob)) {
+    d *= faults.stragglers.factor;
+  }
+  d /= faults.speed_of(executor_id);
   return d;
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faults.h"
 #include "sim/job.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
@@ -56,6 +57,11 @@ struct EnvConfig {
   double duration_noise = 0.0;
 
   std::uint64_t seed = 1;
+
+  // Fault injection (executor failures, stragglers, heterogeneous speeds);
+  // the default plan injects nothing and leaves the simulation bit-identical
+  // to a fault-free build (sim/faults.h, docs/robustness.md).
+  FaultPlan faults;
 
   // Safety valve: abort the episode after this many processed events.
   std::size_t max_events = 50'000'000;
@@ -108,6 +114,15 @@ struct ExecutorState {
   int cls = 0;
   bool busy = false;
   int bound_job = -1;  // last job served; -1 = never used
+  // Fault injection (sim/faults.h): a failed executor is invisible to the
+  // free-executor counts and dispatch until its recovery event.
+  bool failed = false;
+  // Bumped on every failure; a TaskFinish event carrying a stale epoch is a
+  // task that was killed mid-flight and must be ignored.
+  int fail_epoch = 0;
+  // The running task (valid while busy) — what a failure kills.
+  int cur_stage = -1;
+  std::size_t cur_trace = 0;  // index into ClusterEnv::trace()
 };
 
 // One dispatched task, for traces, Gantt charts, and invariant checking.
@@ -120,6 +135,9 @@ struct TaskRecord {
   Time start = 0.0;       // dispatched + moving delay (if any)
   Time end = 0.0;
   bool first_wave = false;
+  // Task was killed by an executor failure at `end` before completing; the
+  // re-run appears as a separate record with the same task_index.
+  bool killed = false;
 };
 
 class ClusterEnv {
@@ -199,10 +217,18 @@ class ClusterEnv {
   struct Event {
     Time time = 0.0;
     int seq = 0;  // tie-break for determinism
-    enum class Kind { kJobArrival, kTaskFinish } kind = Kind::kJobArrival;
+    enum class Kind {
+      kJobArrival,
+      kTaskFinish,
+      kExecutorFail,
+      kExecutorRecover,
+    } kind = Kind::kJobArrival;
     int job = -1;
     int stage = -1;
     int executor = -1;
+    // For kTaskFinish: the executor's fail_epoch when the task started; a
+    // mismatch at delivery means the task was killed by a failure.
+    int exec_epoch = 0;
     bool operator>(const Event& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
@@ -214,17 +240,28 @@ class ClusterEnv {
   // Returns true if a scheduling event should follow (executor freed, stage
   // completed, or job finished).
   bool handle_task_finish(const Event& e);
+  // Fault-plan events: kill the running task (if any) and take the executor
+  // offline / bring it back. Both return true when a scheduling event should
+  // follow.
+  bool handle_executor_fail(const Event& e);
+  bool handle_executor_recover(const Event& e);
+  // Queues the fault plan's fail/recover events (first run() only).
+  void schedule_faults();
   // The §5.2 protocol: query the scheduler until executors/stages run out.
   void run_scheduling_event(Scheduler& sched);
   // Dispatches up to `count` free executors of an eligible class to `node`;
   // returns how many were assigned.
   int dispatch(NodeRef node, int count, int exec_class);
   void start_task(int executor_id, NodeRef node);
-  double sample_task_duration(const JobState& job, int stage, bool first_wave);
+  double sample_task_duration(const JobState& job, int stage, bool first_wave,
+                              int executor_id);
   void record_job_count_change(Time t, int delta);
 
   EnvConfig config_;
   Rng rng_;
+  // Straggler draws come from this separate stream so a plan with
+  // stragglers.prob == 0 leaves rng_'s sequence untouched.
+  Rng fault_rng_;
   std::int64_t uid_ = 0;
   std::uint64_t feature_epoch_ = 0;
   Time now_ = 0.0;

@@ -1,0 +1,35 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+
+namespace decima::sim {
+
+std::vector<ExecutorFault> random_failures(Rng& rng, int num_executors,
+                                           int count, Time window,
+                                           Time mean_downtime) {
+  std::vector<ExecutorFault> out;
+  out.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) {
+    ExecutorFault f;
+    f.executor = rng.uniform_int(0, num_executors - 1);
+    f.fail_at = rng.uniform(0.0, window);
+    f.recover_at = mean_downtime > 0.0
+                       ? f.fail_at + rng.exponential(mean_downtime)
+                       : kInfTime;
+    out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<double> heterogeneous_speeds(Rng& rng, int num_executors,
+                                         double slow_fraction,
+                                         double slow_factor) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(std::max(num_executors, 0)));
+  for (int i = 0; i < num_executors; ++i) {
+    out.push_back(rng.bernoulli(slow_fraction) ? 1.0 / slow_factor : 1.0);
+  }
+  return out;
+}
+
+}  // namespace decima::sim

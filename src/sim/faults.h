@@ -1,0 +1,83 @@
+// Fault injection for the cluster simulator (docs/robustness.md).
+//
+// The paper evaluates Decima on clean TPC-H DAGs; production clusters lose
+// executors mid-job, suffer stragglers, and mix machine generations. A
+// FaultPlan attaches all three to an episode through EnvConfig::faults:
+//
+//   * executor failures/recoveries — at fail_at the executor goes offline:
+//     its running task is killed and returned to the stage's waiting pool
+//     (the re-run is a fresh dispatch, so it pays the moving delay and wave
+//     factor again), and it takes no work until recover_at;
+//   * stragglers — each task independently straggles with probability
+//     `prob`, multiplying its duration by `factor` (drawn from a dedicated
+//     fault RNG stream so enabling faults never perturbs the base
+//     duration-noise draws);
+//   * heterogeneous speeds — per-executor speed multipliers; a task on
+//     executor e takes duration / speed_of(e).
+//
+// A default-constructed FaultPlan (any() == false) is byte-for-byte the
+// pre-fault simulator: no extra events, no extra RNG draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/job.h"
+#include "util/rng.h"
+
+namespace decima::sim {
+
+// One executor outage. recover_at == kInfTime means a permanent failure.
+struct ExecutorFault {
+  int executor = 0;
+  Time fail_at = 0.0;
+  Time recover_at = kInfTime;
+};
+
+// Per-task duration inflation: with probability `prob` a task's duration is
+// multiplied by `factor` (a straggler, cf. the LATE/Mantri literature).
+struct StragglerModel {
+  double prob = 0.0;
+  double factor = 8.0;
+};
+
+struct FaultPlan {
+  std::vector<ExecutorFault> failures;
+  StragglerModel stragglers;
+  // Per-executor speed multipliers (executor i uses index i % size); empty
+  // means a homogeneous cluster. Durations divide by the speed, so 0.5 is a
+  // half-speed machine.
+  std::vector<double> executor_speeds;
+  // Seed of the dedicated fault RNG stream (straggler draws). Isolated from
+  // EnvConfig::seed so a fault-free plan leaves the base simulation
+  // bit-identical.
+  std::uint64_t seed = 1234;
+
+  bool any() const {
+    return !failures.empty() || stragglers.prob > 0.0 ||
+           !executor_speeds.empty();
+  }
+  double speed_of(int executor) const {
+    if (executor_speeds.empty()) return 1.0;
+    return executor_speeds[static_cast<std::size_t>(executor) %
+                           executor_speeds.size()];
+  }
+};
+
+// --- Scenario-construction helpers (bench_scenarios, tests) -----------------
+
+// `count` outages: executor uniform in [0, num_executors), fail time uniform
+// in [0, window), downtime exponential with the given mean (<= 0 makes every
+// failure permanent).
+std::vector<ExecutorFault> random_failures(Rng& rng, int num_executors,
+                                           int count, Time window,
+                                           Time mean_downtime);
+
+// Speed factors for a mixed-generation cluster: each executor is slow
+// (speed = 1 / slow_factor) with probability slow_fraction, full speed
+// otherwise.
+std::vector<double> heterogeneous_speeds(Rng& rng, int num_executors,
+                                         double slow_fraction,
+                                         double slow_factor);
+
+}  // namespace decima::sim

@@ -26,9 +26,13 @@ bool validate_trace_data(const std::vector<TaskRecord>& trace,
                          const std::vector<ExecutorState>& executors,
                          std::string* error) {
 
-  // (1) task counts per stage.
+  // (1) task counts per stage. Attempts killed by an executor failure are
+  // excluded: each task must COMPLETE exactly once, however often faults
+  // forced it to restart.
   std::map<std::pair<int, int>, int> counts;
-  for (const TaskRecord& t : trace) counts[{t.job, t.stage}]++;
+  for (const TaskRecord& t : trace) {
+    if (!t.killed) counts[{t.job, t.stage}]++;
+  }
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     if (!jobs[j].done()) continue;
     for (std::size_t v = 0; v < jobs[j].spec.stages.size(); ++v) {
@@ -44,7 +48,9 @@ bool validate_trace_data(const std::vector<TaskRecord>& trace,
   }
 
   // (2) executor non-overlap. Tasks are traced in dispatch order but overlap
-  // must be checked per executor in time order.
+  // must be checked per executor in time order. Killed attempts participate
+  // too: their span is clamped to the kill time, and nothing may run on the
+  // executor before its recovery.
   std::map<int, std::vector<std::pair<Time, Time>>> by_exec;
   for (const TaskRecord& t : trace) {
     by_exec[t.executor].emplace_back(t.dispatched, t.end);

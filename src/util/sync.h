@@ -23,6 +23,7 @@
 //   ++shared_;
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -112,6 +113,18 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  // Timed wait (deadline/timeout paths, e.g. the policy server's per-request
+  // deadline): sleeps at most `timeout` and returns std::cv_status::timeout
+  // when it expired. Spurious wakeups happen either way — re-check the
+  // predicate and the clock.
+  std::cv_status wait_for(Mutex& mu, std::chrono::nanoseconds timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

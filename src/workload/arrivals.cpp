@@ -1,5 +1,8 @@
 #include "workload/arrivals.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace decima::workload {
 
 std::vector<sim::Time> poisson_arrivals(decima::Rng& rng, double mean_iat,
@@ -28,6 +31,68 @@ std::vector<ArrivingJob> continuous(std::vector<sim::JobSpec> jobs,
   out.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     out.push_back({std::move(jobs[i]), times[i]});
+  }
+  return out;
+}
+
+double diurnal_iat_factor(sim::Time t, double period, double burstiness) {
+  const double phase = std::sin(2.0 * M_PI * t / period);
+  return std::max(1.0 - burstiness * phase, 0.1);
+}
+
+std::vector<ArrivingJob> flash_crowd(std::vector<sim::JobSpec> jobs,
+                                     decima::Rng& rng,
+                                     const FlashCrowdConfig& config) {
+  const std::size_t n = jobs.size();
+  const std::size_t burst =
+      std::min(n, static_cast<std::size_t>(std::llround(
+                      static_cast<double>(n) * config.burst_fraction)));
+  const std::size_t trickle = n - burst;
+  // The leading jobs of the list trickle in; the tail is the crowd.
+  std::vector<sim::Time> times;
+  times.reserve(n);
+  sim::Time t = 0.0;
+  for (std::size_t i = 0; i < trickle; ++i) {
+    t += rng.exponential(config.base_iat);
+    times.push_back(t);
+  }
+  t = config.burst_at;
+  for (std::size_t i = 0; i < burst; ++i) {
+    t += rng.exponential(config.burst_iat);
+    times.push_back(t);
+  }
+  std::vector<ArrivingJob> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({std::move(jobs[i]), times[i]});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ArrivingJob& a, const ArrivingJob& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return out;
+}
+
+std::vector<ArrivingJob> diurnal_arrivals(std::vector<sim::JobSpec> jobs,
+                                          decima::Rng& rng,
+                                          const DiurnalConfig& config) {
+  std::vector<ArrivingJob> out;
+  out.reserve(jobs.size());
+  sim::Time t = 0.0;
+  int burst_left = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (burst_left > 0) {
+      --burst_left;
+      t += rng.exponential(config.burst_iat);
+    } else {
+      t += rng.exponential(
+          config.mean_iat *
+          diurnal_iat_factor(t, config.period, config.burstiness));
+      if (config.burst_prob > 0.0 && rng.bernoulli(config.burst_prob)) {
+        burst_left = config.burst_size;
+      }
+    }
+    out.push_back({std::move(jobs[i]), t});
   }
   return out;
 }

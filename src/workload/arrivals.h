@@ -1,6 +1,8 @@
 // Job arrival processes: batched (all at t=0) and continuous (Poisson with a
-// configurable mean interarrival time), as used in §7.2, plus helpers to load
-// a workload into a ClusterEnv.
+// configurable mean interarrival time), as used in §7.2, plus the stress
+// processes of the scenario suite (docs/robustness.md) — flash crowds and
+// diurnal load with micro-bursts — and helpers to load a workload into a
+// ClusterEnv.
 #pragma once
 
 #include <vector>
@@ -27,6 +29,42 @@ std::vector<ArrivingJob> batched(std::vector<sim::JobSpec> jobs);
 // Continuous arrivals: Poisson process over the given specs in order.
 std::vector<ArrivingJob> continuous(std::vector<sim::JobSpec> jobs,
                                     decima::Rng& rng, double mean_iat);
+
+// Multiplicative modulation of the mean interarrival time at time `t` for a
+// diurnal (sinusoidal) load curve: 1 - burstiness * sin(2π t / period),
+// floored at 0.1 so peak load never degenerates to zero IAT. Shared by
+// synthesize_trace (workload/trace.cpp) and diurnal_arrivals below — one
+// implementation, one busy/quiet shape everywhere.
+double diurnal_iat_factor(sim::Time t, double period, double burstiness);
+
+// Flash crowd: a Poisson trickle at base_iat, then `burst_fraction` of the
+// jobs slam in around burst_at with burst_iat spacing — the workload shape
+// of a viral event or a failover redirecting another cluster's traffic.
+struct FlashCrowdConfig {
+  double base_iat = 25.0;
+  double burst_at = 200.0;
+  double burst_fraction = 0.5;
+  double burst_iat = 0.5;
+};
+std::vector<ArrivingJob> flash_crowd(std::vector<sim::JobSpec> jobs,
+                                     decima::Rng& rng,
+                                     const FlashCrowdConfig& config);
+
+// Diurnal load with optional micro-bursts: Poisson arrivals whose mean IAT
+// follows diurnal_iat_factor, and with probability burst_prob an arrival
+// drags the next burst_size jobs in at burst_iat spacing (a burst riding on
+// the daily curve).
+struct DiurnalConfig {
+  double mean_iat = 25.0;
+  double period = 2000.0;
+  double burstiness = 0.8;  // 0 = plain Poisson
+  double burst_prob = 0.0;
+  int burst_size = 5;
+  double burst_iat = 0.2;
+};
+std::vector<ArrivingJob> diurnal_arrivals(std::vector<sim::JobSpec> jobs,
+                                          decima::Rng& rng,
+                                          const DiurnalConfig& config);
 
 // Registers all jobs with the environment.
 void load(sim::ClusterEnv& env, const std::vector<ArrivingJob>& jobs);

@@ -68,11 +68,11 @@ std::vector<ArrivingJob> synthesize_trace(const TraceConfig& config) {
   for (int i = 0; i < config.num_jobs; ++i) {
     // Diurnal-style intensity: interarrival mean oscillates so the trace has
     // distinct busy and quiet periods (cf. the "hours 7-9" busy period in
-    // Fig. 10). Period chosen so a few cycles fit in a typical run.
-    const double phase =
-        std::sin(2.0 * M_PI * t / (config.mean_iat * 400.0));
-    const double modulation = 1.0 - config.burstiness * phase;
-    t += rng.exponential(config.mean_iat * std::max(modulation, 0.1));
+    // Fig. 10). Period chosen so a few cycles fit in a typical run; the
+    // modulation shape is shared with diurnal_arrivals (workload/arrivals.h).
+    t += rng.exponential(
+        config.mean_iat *
+        diurnal_iat_factor(t, config.mean_iat * 400.0, config.burstiness));
     out.push_back({synth_job(rng, i, config), t});
   }
   return out;

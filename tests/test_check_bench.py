@@ -107,6 +107,37 @@ class CollectRowsTest(unittest.TestCase):
         with self.assertRaisesRegex(BenchError, "unregistered"):
             collect_rows(self.dir, registry={"BENCH_a.json": {}})
 
+    def test_registry_listed_indicator_keys_are_collected(self):
+        # Indicator metrics (no "speedup" in the name) are gathered — and
+        # therefore gated — when the registry lists them.
+        self.write("BENCH_a.json", {"all_answered": 1.0, "x_speedup": 1.2,
+                                    "raw_counter": 42.0})
+        registry = {"BENCH_a.json": {"all_answered": 1.0}}
+        _, rows = collect_rows(self.dir, registry=registry)
+        self.assertEqual(sorted(rows),
+                         [("BENCH_a.json", "all_answered", 1.0),
+                          ("BENCH_a.json", "x_speedup", 1.2)])
+
+    def test_missing_registered_key_in_present_file_is_rejected(self):
+        self.write("BENCH_a.json", {"x_speedup": 1.2})
+        registry = {"BENCH_a.json": {"all_answered": 1.0}}
+        with self.assertRaisesRegex(BenchError, "all_answered"):
+            collect_rows(self.dir, registry=registry)
+
+    def test_non_numeric_registered_key_is_rejected(self):
+        self.write("BENCH_a.json", {"all_answered": "yes"})
+        registry = {"BENCH_a.json": {"all_answered": 1.0}}
+        with self.assertRaisesRegex(BenchError, "all_answered"):
+            collect_rows(self.dir, registry=registry)
+
+    def test_indicator_below_floor_fails_the_gate(self):
+        # A tripped invariant reports 0.0 against its 1.0 floor.
+        rows = [("BENCH_a.json", "all_answered", 0.0)]
+        registry = {"BENCH_a.json": {"all_answered": 1.0}}
+        failures, _ = check_rows(rows, 0.9, registry=registry)
+        self.assertEqual(failures,
+                         [("BENCH_a.json", "all_answered", 0.0, 1.0)])
+
     def test_missing_registered_file_is_rejected_unless_allowed(self):
         self.write("BENCH_a.json", {"x_speedup": 1.1})
         registry = {"BENCH_a.json": {}, "BENCH_b.json": {}}
@@ -120,12 +151,21 @@ class CollectRowsTest(unittest.TestCase):
 
 class RegistryTest(unittest.TestCase):
     def test_every_registry_floor_is_a_sane_ratio(self):
+        # Registered keys are either speedup ratios or indicator metrics
+        # (1.0 = invariant held); in both cases the floor is >= 1.0 — the
+        # generic sub-1.0 noise tolerance is only for unregistered ratios.
         for fname, floors in check_bench.BENCH_REGISTRY.items():
             self.assertTrue(fname.startswith("BENCH_") and
                             fname.endswith(".json"), fname)
             for key, floor in floors.items():
-                self.assertIn("speedup", key)
-                self.assertGreaterEqual(floor, 1.0)
+                self.assertGreaterEqual(floor, 1.0, key)
+
+    def test_scenarios_registry_gates_the_overload_invariants(self):
+        floors = check_bench.BENCH_REGISTRY["BENCH_scenarios.json"]
+        for key in ("clean_policy_vs_worst_heuristic_speedup",
+                    "overload_all_answered", "overload_bounded_queue",
+                    "overload_fallback_nonzero"):
+            self.assertIn(key, floors)
 
 
 if __name__ == "__main__":

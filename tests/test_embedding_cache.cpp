@@ -13,6 +13,7 @@
 #include "gnn/graph_embedding.h"
 #include "nn/adam.h"
 #include "rl/reinforce.h"
+#include "sim/faults.h"
 #include "workload/tpch.h"
 
 namespace decima {
@@ -255,6 +256,37 @@ TEST(EmbeddingCacheAgent, TraceMatchesMultiResource) {
   env.classes = {sim::ExecutorClass{0.25, "s"}, sim::ExecutorClass{0.5, "m"},
                  sim::ExecutorClass{0.75, "l"}, sim::ExecutorClass{1.0, "xl"}};
   expect_same_trace(config, env, staggered_jobs(23, 5));
+}
+
+TEST(EmbeddingCacheAgent, TraceMatchesUncachedUnderExecutorFaults) {
+  // Executor failures kill running tasks mid-episode (waiting counts jump,
+  // allocations shrink, the free-executor pool moves); recoveries bring
+  // capacity back. Every one of those transitions must bump the feature/job
+  // epochs so cached rows are re-embedded — a stale row would silently skew
+  // decisions. Hand-written outages first, then a randomized sweep with
+  // stragglers and heterogeneous speeds layered on.
+  {
+    core::AgentConfig config;
+    config.seed = 11;
+    sim::EnvConfig env = small_env();
+    env.faults.failures = {
+        {/*executor=*/2, /*fail_at=*/30.0, /*recover_at=*/90.0},
+        {/*executor=*/5, /*fail_at=*/50.0}};
+    expect_same_trace(config, env, staggered_jobs(26, 5));
+  }
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    core::AgentConfig config;
+    config.seed = 12;
+    sim::EnvConfig env = small_env();
+    Rng frng(seed);
+    env.faults.failures = sim::random_failures(
+        frng, env.num_executors, 4, 150.0, /*mean_downtime=*/60.0);
+    env.faults.stragglers = {/*prob=*/0.15, /*factor=*/3.0};
+    env.faults.executor_speeds =
+        sim::heterogeneous_speeds(frng, env.num_executors, 0.25, 2.0);
+    env.faults.seed = 40 + seed;
+    expect_same_trace(config, env, staggered_jobs(30 + seed, 4));
+  }
 }
 
 TEST(EmbeddingCacheAgent, MidRunToggleMatchesAlwaysOn) {

@@ -6,9 +6,11 @@
 // batching can only change throughput, never behavior.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "io/checkpoint.h"
+#include "sched/heuristics.h"
 #include "serve/policy_server.h"
 
 namespace decima {
@@ -297,6 +299,158 @@ TEST(PolicyServer, StopIsIdempotentAndAnswersAfterStopAreNone) {
   sim::ClusterEnv env(serve_env());
   workload::load(env, session_jobs(0));
   EXPECT_FALSE(server->decide(env).valid());
+}
+
+// The stop-vs-no-action ambiguity fix: an empty action from a live server
+// (no runnable work) and an answer from a stopped server are the SAME
+// Action::none() but carry different DecideStatus values.
+TEST(PolicyServer, StatusDistinguishesStoppedFromEmptyAction) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_status.ckpt");
+  auto server = serve::PolicyServer::from_checkpoint(ckpt);
+  sim::ClusterEnv empty_env(serve_env());  // no jobs: nothing to schedule
+
+  const auto live = server->decide_with_status(empty_env);
+  EXPECT_EQ(live.status, serve::DecideStatus::kOk);
+  EXPECT_FALSE(live.action.valid());
+  EXPECT_FALSE(live.fallback);
+
+  server->stop();
+  const auto stopped = server->decide_with_status(empty_env);
+  EXPECT_EQ(stopped.status, serve::DecideStatus::kStopped);
+  EXPECT_FALSE(stopped.action.valid());
+  EXPECT_FALSE(stopped.fallback);  // stopped servers never fall back
+  EXPECT_GE(server->stats().stopped_answers, 1u);
+}
+
+// Regression pin for shutdown with queued requests: every query issued
+// around a concurrent stop() resolves as either a real kOk answer (the
+// dispatcher drains its queue before exiting) or an explicit kStopped —
+// never a hang, never a lost request.
+TEST(PolicyServer, ShutdownWithQueuedRequestsDrainsOrReportsStopped) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_shutdown.ckpt");
+  auto server = serve::PolicyServer::from_checkpoint(ckpt);
+
+  core::DecimaAgent agent(agent_config());
+  const auto envs = mid_episode_envs(agent, 8, 2.0);
+
+  std::atomic<std::uint64_t> ok{0}, stopped{0}, other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        const auto r = server->decide_with_status(*envs[
+            static_cast<std::size_t>(t)]);
+        switch (r.status) {
+          case serve::DecideStatus::kOk: ++ok; break;
+          case serve::DecideStatus::kStopped: ++stopped; break;
+          default: ++other; break;
+        }
+      }
+    });
+  }
+  server->stop();  // races the queries above on purpose
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ok + stopped, 8u * 40u);  // every request resolved, one way only
+  EXPECT_EQ(other, 0u);               // default config: nothing degrades
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.decisions, ok);
+  EXPECT_EQ(stats.stopped_answers, stopped);
+}
+
+// Backpressure + deadline + fallback under saturation: a bounded queue and a
+// tight deadline force degraded answers, which must come from SJF-CP and be
+// counted — and the accounting must balance exactly.
+TEST(PolicyServer, SaturationDegradesToSjfCpWithExactAccounting) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_saturate.ckpt");
+  serve::ServeConfig cfg;
+  cfg.max_queue = 1;
+  cfg.deadline = 5e-5;
+  cfg.heuristic_fallback = true;
+  auto server = serve::PolicyServer::from_checkpoint(ckpt, cfg);
+
+  core::DecimaAgent agent(agent_config());
+  const auto envs = mid_episode_envs(agent, 8, 2.0);
+  // Precompute each env's SJF-CP answer: envs are static here, so every
+  // degraded answer must equal it bit for bit.
+  std::vector<sim::Action> sjf_want;
+  for (const auto& env : envs) {
+    sched::SjfCpScheduler sjf;
+    sjf_want.push_back(sjf.schedule(*env));
+  }
+
+  std::atomic<std::uint64_t> issued{0}, resolved{0};
+  std::atomic<bool> mismatch{false};
+  // Degradation depends on thread timing; retry waves until we have seen it
+  // (max_queue=1 against 8 threads makes the first wave all but certain).
+  for (int wave = 0; wave < 50; ++wave) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        const auto& env = *envs[static_cast<std::size_t>(t)];
+        for (int i = 0; i < 10; ++i) {
+          ++issued;
+          const auto r = server->decide_with_status(env);
+          ++resolved;
+          if (r.status == serve::DecideStatus::kRejected ||
+              r.status == serve::DecideStatus::kTimedOut) {
+            if (!r.fallback) mismatch = true;
+            const auto& want = sjf_want[static_cast<std::size_t>(t)];
+            if (r.action.node.job != want.node.job ||
+                r.action.node.stage != want.node.stage ||
+                r.action.limit != want.limit ||
+                r.action.exec_class != want.exec_class) {
+              mismatch = true;
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const auto s = server->stats();
+    if (s.rejections + s.timeouts > 0) break;
+  }
+
+  EXPECT_FALSE(mismatch) << "degraded answer differed from SJF-CP";
+  const auto stats = server->stats();
+  EXPECT_GT(stats.rejections + stats.timeouts, 0u) << "never saturated";
+  EXPECT_EQ(stats.fallbacks, stats.rejections + stats.timeouts);
+  EXPECT_EQ(stats.decisions + stats.rejections + stats.timeouts,
+            resolved.load());
+  EXPECT_EQ(issued.load(), resolved.load());
+  EXPECT_LE(stats.max_queue_depth, 1u);
+}
+
+// fallback off: degraded answers are explicit empty actions, still counted.
+TEST(PolicyServer, FallbackOffReturnsNoneOnRejection) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_nofall.ckpt");
+  serve::ServeConfig cfg;
+  cfg.max_queue = 1;
+  cfg.heuristic_fallback = false;
+  auto server = serve::PolicyServer::from_checkpoint(ckpt, cfg);
+
+  core::DecimaAgent agent(agent_config());
+  const auto envs = mid_episode_envs(agent, 6, 2.0);
+  std::atomic<bool> bad_reject{false};
+  for (int wave = 0; wave < 50 && server->stats().rejections == 0; ++wave) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 10; ++i) {
+          const auto r =
+              server->decide_with_status(*envs[static_cast<std::size_t>(t)]);
+          if (r.status == serve::DecideStatus::kRejected &&
+              (r.fallback || r.action.valid())) {
+            bad_reject = true;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_GT(server->stats().rejections, 0u);
+  EXPECT_EQ(server->stats().fallbacks, 0u);
+  EXPECT_FALSE(bad_reject);
 }
 
 }  // namespace

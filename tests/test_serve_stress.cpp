@@ -160,5 +160,70 @@ TEST(ServeStress, ConcurrentStopIsIdempotent) {
   EXPECT_FALSE(server->decide(env).valid());
 }
 
+// Overload/saturation: hundreds of sessions against a tiny bounded queue and
+// a tight deadline (the CI TSan job runs this interleaving too). The gates:
+// queue depth stays bounded, every request resolves with an explicit status
+// (zero lost, no hang — the test finishing is itself the liveness check),
+// degradation is exactly accounted, fallback answers keep every session
+// completing its jobs, and saturation actually produced fallbacks.
+TEST(ServeStress, OverloadBackpressureAndFairnessAcrossHundredsOfSessions) {
+  constexpr int kThreads = 16;
+  constexpr int kSessionsPerThread = 16;  // 256 sessions total
+
+  serve::ServeConfig cfg;
+  cfg.max_queue = 4;
+  cfg.deadline = 2e-4;
+  cfg.heuristic_fallback = true;
+  auto server = std::make_unique<serve::PolicyServer>(
+      std::make_unique<const core::DecimaAgent>(agent_config(19)), cfg);
+
+  std::atomic<std::uint64_t> queries{0}, answered{0}, ok{0}, timeouts{0},
+      rejections{0}, fallbacks{0};
+  std::atomic<int> completed_sessions{0}, starved_sessions{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int s = 0; s < kSessionsPerThread; ++s) {
+        const auto r = serve::run_session(
+            *server, serve_env(),
+            session_jobs(static_cast<std::uint64_t>(t * 131 + s)));
+        queries += r.decisions;
+        answered += r.degradation.answered();
+        ok += r.degradation.ok;
+        timeouts += r.degradation.timeouts;
+        rejections += r.degradation.rejections;
+        fallbacks += r.degradation.fallbacks;
+        // Fairness floor: under saturation every session still finishes its
+        // jobs (degraded answers keep it moving) — nobody starves.
+        if (r.completed == 2) {
+          ++completed_sessions;
+        } else {
+          ++starved_sessions;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Zero lost requests: every query resolved with exactly one status.
+  EXPECT_EQ(queries.load(), answered.load());
+  EXPECT_EQ(starved_sessions.load(), 0);
+  EXPECT_EQ(completed_sessions.load(), kThreads * kSessionsPerThread);
+
+  const auto stats = server->stats();
+  // The server's books agree with the sessions' books, event for event.
+  EXPECT_EQ(stats.decisions, ok.load());
+  EXPECT_EQ(stats.timeouts, timeouts.load());
+  EXPECT_EQ(stats.rejections, rejections.load());
+  EXPECT_EQ(stats.fallbacks, fallbacks.load());
+  EXPECT_EQ(stats.fallbacks, stats.timeouts + stats.rejections);
+  EXPECT_EQ(stats.stopped_answers, 0u);
+  // Bounded queue held its bound; 256 sessions on a 4-deep queue with a
+  // 200µs deadline cannot all be served by the policy.
+  EXPECT_LE(stats.max_queue_depth, 4u);
+  EXPECT_GT(stats.fallbacks, 0u) << "overload never triggered degradation";
+}
+
 }  // namespace
 }  // namespace decima

@@ -111,6 +111,89 @@ TEST(Arrivals, ContinuousSortedTimes) {
   }
 }
 
+TEST(Arrivals, DiurnalFactorShapesLoad) {
+  // sin(0) = 0: at t = 0 the factor is exactly 1 (nominal load).
+  EXPECT_DOUBLE_EQ(diurnal_iat_factor(0.0, 2000.0, 0.8), 1.0);
+  // Quarter period is peak load (shortest IAT), three quarters the trough.
+  const double peak = diurnal_iat_factor(500.0, 2000.0, 0.8);
+  const double trough = diurnal_iat_factor(1500.0, 2000.0, 0.8);
+  EXPECT_NEAR(peak, 0.2, 1e-12);
+  EXPECT_NEAR(trough, 1.8, 1e-12);
+  // Extreme burstiness hits the 0.1 floor instead of going nonpositive.
+  EXPECT_DOUBLE_EQ(diurnal_iat_factor(500.0, 2000.0, 2.0), 0.1);
+  // burstiness 0 is flat.
+  EXPECT_DOUBLE_EQ(diurnal_iat_factor(777.0, 2000.0, 0.0), 1.0);
+}
+
+TEST(Arrivals, FlashCrowdConcentratesBurst) {
+  Rng jrng(4);
+  auto jobs = sample_tpch_batch(jrng, 40);
+  FlashCrowdConfig cfg;
+  cfg.base_iat = 25.0;
+  cfg.burst_at = 200.0;
+  cfg.burst_fraction = 0.5;
+  cfg.burst_iat = 0.5;
+  Rng arr(5);
+  const auto w = flash_crowd(std::move(jobs), arr, cfg);
+  ASSERT_EQ(w.size(), 40u);
+  int in_burst_window = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(w[i].arrival, w[i - 1].arrival);  // sorted
+    }
+    if (w[i].arrival >= cfg.burst_at && w[i].arrival <= cfg.burst_at + 40.0) {
+      ++in_burst_window;
+    }
+  }
+  // The burst half lands in a tight window around burst_at (20 jobs at
+  // ~0.5s spacing, plus whatever trickle happens to fall there).
+  EXPECT_GE(in_burst_window, 20);
+
+  // Deterministic under an equal seed.
+  Rng jrng2(4), arr2(5);
+  const auto w2 =
+      flash_crowd(sample_tpch_batch(jrng2, 40), arr2, cfg);
+  ASSERT_EQ(w2.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w2[i].arrival, w[i].arrival);
+  }
+}
+
+TEST(Arrivals, DiurnalArrivalsSortedAndBurstsCluster) {
+  Rng jrng(6);
+  auto jobs = sample_tpch_batch(jrng, 200);
+  DiurnalConfig cfg;
+  cfg.mean_iat = 10.0;
+  cfg.period = 800.0;
+  cfg.burstiness = 0.8;
+  cfg.burst_prob = 0.1;
+  cfg.burst_size = 5;
+  cfg.burst_iat = 0.2;
+  Rng arr(7);
+  const auto w = diurnal_arrivals(std::move(jobs), arr, cfg);
+  ASSERT_EQ(w.size(), 200u);
+  int tight_gaps = 0;
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_GE(w[i].arrival, w[i - 1].arrival);
+    if (w[i].arrival - w[i - 1].arrival < 1.0) ++tight_gaps;
+  }
+  // Micro-bursts produce runs of sub-second gaps a plain 10s-IAT Poisson
+  // process would make vanishingly rare in aggregate.
+  EXPECT_GE(tight_gaps, 20);
+
+  // burst_prob = 0 degrades to a diurnally-modulated Poisson process; the
+  // draw sequence should differ from the bursty one above.
+  Rng jrng2(6), arr2(7);
+  DiurnalConfig plain = cfg;
+  plain.burst_prob = 0.0;
+  const auto w_plain =
+      diurnal_arrivals(sample_tpch_batch(jrng2, 200), arr2, plain);
+  ASSERT_EQ(w_plain.size(), 200u);
+  for (std::size_t i = 1; i < w_plain.size(); ++i) {
+    EXPECT_GE(w_plain[i].arrival, w_plain[i - 1].arrival);
+  }
+}
+
 TEST(Trace, MatchesAggregateShape) {
   TraceConfig cfg;
   cfg.num_jobs = 2000;
