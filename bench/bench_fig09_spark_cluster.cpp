@@ -31,7 +31,7 @@ int main() {
 
   rl::TrainConfig train;
   train.episodes_per_iter = 8;
-  train.num_threads = 8;
+  train.rollout_threads = 8;
   train.curriculum = false;
   train.differential_reward = false;
   train.env = env;
@@ -79,7 +79,7 @@ int main() {
                                                        /*mean_iat=*/40.0);
   rl::TrainConfig ctrain;
   ctrain.episodes_per_iter = 8;
-  ctrain.num_threads = 8;
+  ctrain.rollout_threads = 8;
   ctrain.curriculum = true;
   ctrain.tau_mean_init = 400.0;
   ctrain.tau_mean_max = 2000.0;

@@ -14,7 +14,7 @@ void run_comparison(const std::string& label, const sim::EnvConfig& env,
                     const std::string& cache_key, const std::string& paper) {
   rl::TrainConfig train;
   train.episodes_per_iter = 8;
-  train.num_threads = 8;
+  train.rollout_threads = 8;
   train.curriculum = false;
   train.differential_reward = false;
   train.env = env;

@@ -137,7 +137,7 @@ int main() {
 
   rl::TrainConfig train;
   train.episodes_per_iter = 8;
-  train.num_threads = 8;
+  train.rollout_threads = 8;
   train.curriculum = false;
   train.differential_reward = false;
   train.env = env;

@@ -67,7 +67,7 @@ int main() {
 
     rl::TrainConfig train;
     train.episodes_per_iter = 8;
-    train.num_threads = 8;
+    train.rollout_threads = 8;
     train.curriculum = !v.batched_training;
     train.tau_mean_init = 400.0;
     train.tau_mean_max = 2000.0;

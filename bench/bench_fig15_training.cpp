@@ -13,7 +13,8 @@ int main() {
       "Figure 15 (§7.4)",
       "(a) learning curves per parallelism-limit encoding; (b) scheduling\n"
       "delay vs scheduling-event interval CDFs; (c) training throughput\n"
-      "with episode-batched vs per-action replay (writes BENCH_train.json).");
+      "with episode-batched vs per-action replay; (d) parallel rollout\n"
+      "scaling vs the sequential reference (writes BENCH_train.json).");
 
   sim::EnvConfig env;
   env.num_executors = 10;
@@ -45,7 +46,7 @@ int main() {
     core::DecimaAgent agent(ac);
     rl::TrainConfig train;
     train.episodes_per_iter = 8;
-    train.num_threads = 8;
+    train.rollout_threads = 8;
     train.curriculum = false;
     train.differential_reward = false;
     train.env = env;
@@ -128,7 +129,7 @@ int main() {
     core::DecimaAgent agent(ac);
     rl::TrainConfig tcfg;
     tcfg.episodes_per_iter = 4;
-    tcfg.num_threads = 4;
+    tcfg.rollout_threads = 4;
     tcfg.curriculum = false;
     tcfg.differential_reward = false;
     tcfg.env = tenv;
@@ -166,6 +167,63 @@ int main() {
             << t_thr.to_string()
             << "replay-phase speedup: " << fmt(replay_speedup, 2) << "x\n";
 
+  // ---------------- (d) parallel rollout scaling ----------------------------
+  // TrainConfig::rollout_threads sweep on the same workload: 8 episodes per
+  // iteration over 1/2/8 workers. The determinism contract
+  // (docs/training.md) says only wall-clock may change, so alongside the
+  // speedups we emit rollout_bitexact = 1.0 iff every run's final parameters
+  // are byte-equal to the sequential reference — check_bench.py floors it at
+  // 1.0, making any CI drift a hard failure. Speedups are meaningful only on
+  // multi-core runners; a 1-core box legitimately reports ~1.0x.
+  struct Sweep {
+    double rollout = 0.0, cpu = 0.0;
+    std::vector<std::vector<double>> params;
+  };
+  auto time_threads = [&](int threads) {
+    core::AgentConfig ac;
+    ac.seed = 37;
+    core::DecimaAgent agent(ac);
+    rl::TrainConfig tcfg;
+    tcfg.episodes_per_iter = 8;
+    tcfg.rollout_threads = threads;
+    tcfg.curriculum = false;
+    tcfg.differential_reward = false;
+    tcfg.env = tenv;
+    tcfg.sampler = dag_sampler;
+    rl::ReinforceTrainer trainer(agent, tcfg);
+    Sweep s;
+    for (int i = 0; i < titers; ++i) {
+      const auto st = trainer.iterate();
+      s.rollout += st.rollout_seconds;
+      s.cpu += st.rollout_cpu_seconds;
+    }
+    for (const nn::Param* p : agent.params().params()) {
+      s.params.push_back(p->value.raw());
+    }
+    return s;
+  };
+  const Sweep t1 = time_threads(1);
+  const Sweep t2 = time_threads(2);
+  const Sweep t8 = time_threads(8);
+  const double t2_speedup = t1.rollout / std::max(t2.rollout, 1e-12);
+  const double t8_speedup = t1.rollout / std::max(t8.rollout, 1e-12);
+  const bool bitexact = t2.params == t1.params && t8.params == t1.params;
+
+  Table t_par({"rollout_threads", "rollout [s]", "busy [s]", "speedup",
+               "bit-exact"});
+  t_par.add_row({"1 (reference)", fmt(t1.rollout, 2), fmt(t1.cpu, 2), "1.00",
+                 "-"});
+  t_par.add_row({"2", fmt(t2.rollout, 2), fmt(t2.cpu, 2), fmt(t2_speedup, 2),
+                 t2.params == t1.params ? "yes" : "NO"});
+  t_par.add_row({"8", fmt(t8.rollout, 2), fmt(t8.cpu, 2), fmt(t8_speedup, 2),
+                 t8.params == t1.params ? "yes" : "NO"});
+  std::cout << "\n(d) parallel rollout scaling, " << titers
+            << " iterations x 8 episodes\n"
+            << t_par.to_string()
+            << "parameters byte-equal across the sweep: "
+            << (bitexact ? "yes" : "NO — determinism contract violated")
+            << "\n";
+
   bench::BenchJson json("train");
   json.set("bench", "fig15_training");
   json.set("dag_nodes", static_cast<double>(kDagNodes));
@@ -183,6 +241,12 @@ int main() {
   json.set("batched_iters_per_sec", iters_per_sec_bat);
   json.set("replay_speedup", replay_speedup);
   json.set("iters_per_sec_speedup", iters_per_sec_bat / std::max(iters_per_sec_ref, 1e-12));
+  json.set("rollout_t1_s", t1.rollout);
+  json.set("rollout_t2_s", t2.rollout);
+  json.set("rollout_t8_s", t8.rollout);
+  json.set("rollout_t2_speedup", t2_speedup);
+  json.set("rollout_t8_speedup", t8_speedup);
+  json.set("rollout_bitexact", bitexact ? 1.0 : 0.0);
   const std::string path = json.write();
   if (!path.empty()) std::cout << "\n[bench] wrote " << path << "\n";
   return 0;

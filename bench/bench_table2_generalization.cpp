@@ -35,7 +35,7 @@ int main() {
 
   rl::TrainConfig base;
   base.episodes_per_iter = 8;
-  base.num_threads = 8;
+  base.rollout_threads = 8;
   base.curriculum = true;
   base.tau_mean_init = 400.0;
   base.tau_mean_max = 2000.0;

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   rl::TrainConfig train;
   train.num_iterations = train_iters;
   train.episodes_per_iter = 8;
-  train.num_threads = 8;
+  train.rollout_threads = 8;
   train.curriculum = false;        // short batch episodes
   train.differential_reward = false;
   train.env = env;

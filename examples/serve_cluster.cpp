@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   rl::TrainConfig train;
   train.num_iterations = iters;
   train.episodes_per_iter = 4;
-  train.num_threads = 4;
+  train.rollout_threads = 4;
   train.curriculum = false;
   train.env = env;
   train.sampler = sampler;

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   rl::TrainConfig train;
   train.num_iterations = iters;
   train.episodes_per_iter = 8;
-  train.num_threads = 8;
+  train.rollout_threads = 8;
   train.curriculum = true;
   train.tau_mean_init = 500.0;
   train.tau_mean_growth = 100.0;

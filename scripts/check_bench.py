@@ -55,7 +55,16 @@ BENCH_REGISTRY = {
         "overload_fallback_nonzero": 1.0,
     },
     "BENCH_serve.json": {},
-    "BENCH_train.json": {},
+    "BENCH_train.json": {
+        # Parallel rollout scaling (fig15 section (d)): 8 workers must at
+        # least halve rollout wall-clock vs the sequential reference on the
+        # multi-core CI runners. Local 1-core boxes legitimately report ~1.0x
+        # — this floor is evaluated only where the benches run in CI.
+        "rollout_t8_speedup": 2.0,
+        # Determinism indicator (1.0 = final parameters byte-equal across the
+        # rollout_threads ∈ {1, 2, 8} sweep). Any drift is a hard failure.
+        "rollout_bitexact": 1.0,
+    },
 }
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-invariant lint: the rules the compilers cannot check.
 
-Four standing invariants, enforced at zero findings by the CI
+Five standing invariants, enforced at zero findings by the CI
 ``static-analysis`` job (and by ``ctest -R check_invariants`` locally):
 
 1. **sync-primitives** — no raw ``std::mutex`` / ``std::condition_variable``
@@ -20,6 +20,12 @@ Four standing invariants, enforced at zero findings by the CI
    (``bench::BenchJson``) is registered in ``scripts/check_bench.py``'s
    ``BENCH_REGISTRY`` floor table, and vice versa, so no perf emitter can
    bypass the CI ratio gate.
+5. **thread-knob-pinning** — every ``*_threads`` config knob declared in a
+   ``src/**`` header (e.g. ``TrainConfig::rollout_threads``) is registered
+   in ``FLAG_PINNED`` with an equivalence test that pins thread-count
+   invariance: parallelism knobs must change wall-clock only, never
+   results (docs/training.md, "Parallel rollout & the determinism
+   contract").
 
 Exits 0 with a one-line summary when clean; prints every finding as
 ``file:line: [rule] message`` and exits 1 otherwise.
@@ -63,10 +69,13 @@ IRREGULAR_SIBLINGS = {
 
 # Entry points pinned through a config flag rather than by name: the named
 # test file must exist and contain the token (the flag that flips the fast
-# path against its reference).
+# path against its reference). Rule 5 routes ``*_threads`` config knobs
+# through the same table — their "reference path" is the knob's sequential
+# setting, and the registered test pins bit-identity across thread counts.
 FLAG_PINNED = {
     "embed_nodes_batched": ("test_batched_equivalence.cpp", "GnnConfig::batched"),
     "score_replay_batch": ("test_batched_equivalence.cpp", "batched_replay"),
+    "rollout_threads": ("test_parallel_rollout.cpp", "rollout_threads"),
 }
 
 # Suffix matches that are not fast paths at all (documented here, not
@@ -268,12 +277,44 @@ def findings_bench_registry():
     return found
 
 
+def findings_thread_knob_pinning():
+    """Rule 5: every ``int <name>_threads = ...`` config knob in a src/**
+    header must be registered in FLAG_PINNED, and its registered test file
+    must exist and mention the knob. Parallelism knobs may only change
+    wall-clock; the registered test is what pins that."""
+    found = []
+    knob_re = re.compile(r"\bint\s+(\w*_threads)\s*=")
+    tests_dir = REPO / "tests"
+    for path in sorted((REPO / "src").rglob("*.h")):
+        rel = path.relative_to(REPO)
+        code = strip_comments_and_strings(path.read_text())
+        for m in knob_re.finditer(code):
+            knob = m.group(1)
+            lineno = code.count("\n", 0, m.start()) + 1
+            if knob not in FLAG_PINNED:
+                found.append(
+                    (rel, lineno, "thread-knob-pinning",
+                     f"thread-count knob '{knob}' has no FLAG_PINNED entry in "
+                     f"scripts/check_invariants.py — register the equivalence "
+                     f"test that pins results bit-identical across its values"))
+                continue
+            test_file, token = FLAG_PINNED[knob]
+            test_path = tests_dir / test_file
+            if not test_path.is_file() or token not in test_path.read_text():
+                found.append(
+                    (rel, lineno, "thread-knob-pinning",
+                     f"'{knob}' is registered as pinned by {test_file} via "
+                     f"'{token}', but that file/token is missing"))
+    return found
+
+
 def main() -> int:
     rules = [
         findings_sync_primitives,
         findings_fast_path_pairing,
         findings_fp_flags,
         findings_bench_registry,
+        findings_thread_knob_pinning,
     ]
     findings = []
     for rule in rules:

@@ -907,6 +907,11 @@ std::unique_ptr<DecimaAgent> DecimaAgent::clone() const {
   return copy;
 }
 
+void DecimaAgent::snapshot_params_from(const DecimaAgent& master) {
+  params_.copy_values_from(master.params_);
+  observed_iat_ = master.observed_iat_;
+}
+
 bool DecimaAgent::save(const std::string& path) const {
   return nn::save_params(params_, path);
 }

@@ -131,6 +131,15 @@ class DecimaAgent : public sim::Scheduler {
   const AgentConfig& config() const { return config_; }
   std::size_t num_parameters() const { return params_.num_parameters(); }
   std::unique_ptr<DecimaAgent> clone() const;
+  // Re-snapshots this worker copy's parameter values from `master` (which
+  // must be the agent this one was clone()d from: identical structure). The
+  // training rollout pool calls this once per iteration so persistent
+  // workers track the master's Adam updates without reallocating; the
+  // version bump makes the worker's embedding cache re-validate against the
+  // new snapshot (gnn/embedding_cache.h layer 1). Everything else — sample
+  // RNG, recording/replay state, caches — is left untouched, and `master`
+  // is only read.
+  void snapshot_params_from(const DecimaAgent& master);
   bool save(const std::string& path) const;
   bool load(const std::string& path);
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <thread>
 
 #include "io/checkpoint.h"
 #include "rl/baseline.h"
@@ -13,10 +12,12 @@ namespace decima::rl {
 namespace {
 
 // The TrainConfig fields that shape the training dynamics, written to (and
-// verified against) trainer checkpoints. num_iterations and num_threads are
-// deliberately absent: iteration count is the caller's loop, and per-episode
-// gradients reduce in a fixed order so the thread count cannot change
-// results (tests/test_training.cpp pins this). The WorkloadSampler is a
+// verified against) trainer checkpoints. num_iterations and rollout_threads
+// are deliberately absent: iteration count is the caller's loop, and
+// per-episode gradients reduce in a fixed order so the thread count cannot
+// change results (tests/test_parallel_rollout.cpp and the resume-across-
+// thread-counts case in tests/test_checkpoint.cpp pin this). The
+// WorkloadSampler is a
 // std::function and inherently unverifiable — resume() trusts the caller to
 // install the same sampler (reinforce.h documents this).
 struct TrainFingerprint {
@@ -239,6 +240,43 @@ void ReinforceTrainer::replay(core::DecimaAgent& worker,
   worker.finish_replay();
 }
 
+void ReinforceTrainer::ensure_workers() {
+  const int threads = std::max(1, config_.rollout_threads);
+  if (static_cast<int>(worker_agents_.size()) != threads) {
+    pool_.reset();
+    worker_agents_.clear();
+    worker_agents_.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) worker_agents_.push_back(agent_.clone());
+  }
+  if (threads > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<util::WorkerPool>(threads);
+  }
+}
+
+double ReinforceTrainer::run_on_workers(int n,
+                                        const util::WorkerPool::Task& fn) {
+  using Clock = std::chrono::steady_clock;
+  // One busy-seconds slot per worker: each slot is written only by its
+  // worker (exclusive ownership by index), summed after the barrier. The
+  // per-task spans on one worker are disjoint sub-intervals of the phase
+  // span, so the sum never double-counts concurrent work.
+  std::vector<double> busy(worker_agents_.size(), 0.0);
+  const util::WorkerPool::Task timed = [&](int task, int worker) {
+    const auto t0 = Clock::now();
+    fn(task, worker);
+    busy[static_cast<std::size_t>(worker)] +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  if (pool_ == nullptr) {
+    for (int i = 0; i < n; ++i) timed(i, 0);
+  } else {
+    pool_->parallel_for(n, timed);
+  }
+  double total = 0.0;
+  for (double b : busy) total += b;
+  return total;
+}
+
 IterationStats ReinforceTrainer::iterate() {
   using Clock = std::chrono::steady_clock;
   const auto seconds_since = [](Clock::time_point t0) {
@@ -254,7 +292,11 @@ IterationStats ReinforceTrainer::iterate() {
 
   // (2) Arrival sequence(s). fixed_sequences shares one sequence across the
   // iteration's episodes (input-dependent baseline); the ablation draws a
-  // fresh sequence per episode.
+  // fresh sequence per episode. The determinism contract starts here: every
+  // episode's sub-streams (workload, env, sampling) are forked from the
+  // trainer RNG on this thread in episode-index order — keyed by
+  // (iteration, episode), never by worker or claim order — so episode i
+  // sees the same random draws no matter which worker later runs it.
   const std::uint64_t shared_seq = rng_.fork();
   std::vector<std::uint64_t> workload_seeds(static_cast<std::size_t>(n));
   std::vector<std::uint64_t> env_seeds(static_cast<std::size_t>(n));
@@ -266,32 +308,29 @@ IterationStats ReinforceTrainer::iterate() {
     sample_seeds[static_cast<std::size_t>(i)] = rng_.fork();
   }
 
-  // Per-episode worker agents sharing the master's current parameters.
-  std::vector<std::unique_ptr<core::DecimaAgent>> workers;
-  workers.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) workers.push_back(agent_.clone());
+  // Persistent worker agents snapshot the master's current parameters once
+  // per iteration (values only; the snapshot bumps the param version, so
+  // each worker's embedding cache re-validates and then stays warm across
+  // all episodes this worker runs this iteration).
+  ensure_workers();
+  for (auto& w : worker_agents_) w->snapshot_params_from(agent_);
 
-  // (3) Parallel rollouts. Lock-free by ownership, not by luck
-  // (docs/concurrency.md): episode i is touched only by the worker that owns
-  // index i (stride-striped), each worker drives its own cloned agent and
-  // pre-forked RNG seeds, and the join below is the only synchronization —
-  // results are reduced on this thread afterwards.
+  // (3) Rollouts. Lock-free by ownership, not by luck (docs/concurrency.md):
+  // worker w exclusively owns worker_agents_[w], episode results land in
+  // episodes[i] written by exactly one task, and the pool's barrier is the
+  // only synchronization — everything is reduced on this thread afterwards.
+  // Episodes are claimed dynamically for load balance; results stay
+  // bit-identical for any rollout_threads because seeds and reduction order
+  // are keyed by episode index.
   const auto t_rollout = Clock::now();
   std::vector<EpisodeData> episodes(static_cast<std::size_t>(n));
-  {
-    const int threads = std::max(1, std::min(config_.num_threads, n));
-    std::vector<std::thread> pool;
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] {
-        for (int i = t; i < n; i += threads) {
-          const std::size_t ii = static_cast<std::size_t>(i);
-          episodes[ii] = rollout(*workers[ii], workload_seeds[ii],
-                                 env_seeds[ii], sample_seeds[ii], tau);
-        }
+  const double rollout_cpu_seconds =
+      run_on_workers(n, [&](int i, int w) {
+        const std::size_t ii = static_cast<std::size_t>(i);
+        episodes[ii] = rollout(*worker_agents_[static_cast<std::size_t>(w)],
+                               workload_seeds[ii], env_seeds[ii],
+                               sample_seeds[ii], tau);
       });
-    }
-    for (auto& th : pool) th.join();
-  }
   const double rollout_seconds = seconds_since(t_rollout);
 
   // (4) Returns, baselines, advantages.
@@ -345,30 +384,27 @@ IterationStats ReinforceTrainer::iterate() {
     }
   }
 
-  // (5) Parallel replays accumulate gradients into each worker's params —
-  // same ownership discipline as (3): per-worker params, join barrier,
-  // deterministic single-threaded reduction in (6).
+  // (5) Replays accumulate each episode's gradients into its worker's
+  // params (zeroed per episode), which are immediately flattened into the
+  // episode-indexed stash — a worker replaying several episodes never mixes
+  // their gradients, and (6) can reduce in fixed episode order regardless
+  // of which worker produced what.
   const auto t_replay = Clock::now();
-  {
-    const int threads = std::max(1, std::min(config_.num_threads, n));
-    std::vector<std::thread> pool;
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] {
-        for (int i = t; i < n; i += threads) {
-          const std::size_t ii = static_cast<std::size_t>(i);
-          replay(*workers[ii], episodes[ii], advantages[ii], tau);
-        }
+  std::vector<std::vector<double>> episode_grads(static_cast<std::size_t>(n));
+  const double replay_cpu_seconds =
+      run_on_workers(n, [&](int i, int w) {
+        const std::size_t ii = static_cast<std::size_t>(i);
+        core::DecimaAgent& worker = *worker_agents_[static_cast<std::size_t>(w)];
+        replay(worker, episodes[ii], advantages[ii], tau);
+        episode_grads[ii] = worker.params().flat_grads();
       });
-    }
-    for (auto& th : pool) th.join();
-  }
   const double replay_seconds = seconds_since(t_replay);
 
-  // (6) Reduce gradients (deterministic order), clip, Adam.
+  // (6) Reduce gradients (deterministic episode order), clip, Adam.
   agent_.params().zero_grads();
   for (int i = 0; i < n; ++i) {
-    agent_.params().accumulate_grads_from(
-        workers[static_cast<std::size_t>(i)]->params(), 1.0 / n);
+    agent_.params().add_flat_to_grads(
+        episode_grads[static_cast<std::size_t>(i)], 1.0 / n);
   }
   agent_.params().clip_grad_norm(config_.grad_clip);
   const double grad_norm = agent_.params().grad_norm();
@@ -388,7 +424,12 @@ IterationStats ReinforceTrainer::iterate() {
   stats.entropy_weight = entropy_weight_;
   stats.rollout_seconds = rollout_seconds;
   stats.replay_seconds = replay_seconds;
-  stats.step_seconds = seconds_since(t_iter) - rollout_seconds - replay_seconds;
+  stats.total_seconds = seconds_since(t_iter);
+  // The rollout/replay spans are disjoint sub-intervals of the iteration
+  // span on this (monotonic) clock, so the remainder is never negative.
+  stats.step_seconds = stats.total_seconds - rollout_seconds - replay_seconds;
+  stats.rollout_cpu_seconds = rollout_cpu_seconds;
+  stats.replay_cpu_seconds = replay_cpu_seconds;
   return stats;
 }
 

@@ -6,7 +6,11 @@
 //      cannot game a deterministic horizon);
 //   2. sample a job arrival sequence, shared by all N episodes of the
 //      iteration (input-dependent baseline, §5.3 challenge #2);
-//   3. roll out N episodes in parallel worker threads (stochastic policy);
+//   3. roll out N episodes (stochastic policy) — sequentially at
+//      rollout_threads = 1 (the reference path), else on a persistent pool
+//      of workers that each own a parameter-snapshot clone of the agent;
+//      episode seeds pre-derived in episode order keep the result
+//      bit-identical either way;
 //   4. convert rewards to returns (optionally differential/average-reward,
 //      Appendix B), compute time-aligned per-sequence baselines, normalize
 //      advantages;
@@ -26,12 +30,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/agent.h"
 #include "nn/adam.h"
 #include "rl/objectives.h"
 #include "util/stats.h"
+#include "util/sync.h"
 #include "workload/arrivals.h"
 
 namespace decima::rl {
@@ -49,7 +55,17 @@ using WorkloadSampler =
 struct TrainConfig {
   int num_iterations = 100;
   int episodes_per_iter = 8;
-  int num_threads = 8;
+  // Rollout/replay worker pool (docs/training.md, "Parallel rollout & the
+  // determinism contract"). 1 = the sequential reference path: every episode
+  // runs inline on the calling thread. K > 1 spawns K persistent workers
+  // (util::WorkerPool), each owning its own cloned agent (params
+  // re-snapshotted from the master every iteration) and embedding cache.
+  // Episode seeds are derived on the coordinator in episode-index order and
+  // per-episode gradients reduce in that same order, so training is
+  // bit-identical for every value of this knob — params, checkpoints, and
+  // stats (tests/test_parallel_rollout.cpp pins threads ∈ {1, 2, 8}, clean
+  // and under fault plans). Only wall-clock changes.
+  int rollout_threads = 1;
 
   double lr = 1e-3;
   double grad_clip = 20.0;
@@ -91,11 +107,24 @@ struct IterationStats {
   int total_actions = 0;
   double grad_norm = 0.0;
   double entropy_weight = 0.0;
-  // Wall-clock seconds per Algorithm-1 phase (BENCH_train.json): rollout =
-  // step 3, replay = step 5, step = everything else (returns/baselines/Adam).
+  // Phase timers (BENCH_train.json). rollout/replay/step are *wall-clock*
+  // seconds per Algorithm-1 phase, measured on the coordinating thread as
+  // one span per phase: rollout = step 3, replay = step 5, step = everything
+  // else (returns/baselines/reduction/Adam, the remainder of total_seconds).
+  // Under a worker pool the per-episode spans overlap, so they are NEVER
+  // summed into these — summing would double-count concurrent work. The
+  // *_cpu_seconds fields carry that sum instead: per-worker busy seconds
+  // aggregated over the phase's episodes (≈ wall-clock at rollout_threads =
+  // 1; up to rollout_threads × wall-clock when the pool scales). Invariants,
+  // pinned by tests/test_parallel_rollout.cpp:
+  //   rollout_seconds + replay_seconds + step_seconds == total_seconds
+  //   0 <= <phase>_cpu_seconds <= rollout_threads * <phase>_seconds
   double rollout_seconds = 0.0;
   double replay_seconds = 0.0;
   double step_seconds = 0.0;
+  double total_seconds = 0.0;
+  double rollout_cpu_seconds = 0.0;
+  double replay_cpu_seconds = 0.0;
 };
 
 class ReinforceTrainer {
@@ -121,8 +150,8 @@ class ReinforceTrainer {
   // Restores a checkpoint written by save_checkpoint into this trainer. The
   // trainer's TrainConfig (env included) and the agent's AgentConfig must
   // match the checkpoint on every dynamics-affecting field
-  // (num_iterations/num_threads may differ — thread count provably does not
-  // change results); returns false with the trainer untouched otherwise. The
+  // (num_iterations/rollout_threads may differ — thread count provably does
+  // not change results); returns false with the trainer untouched otherwise. The
   // WorkloadSampler cannot be fingerprinted (it is a std::function): the
   // caller must install the same sampler for the guarantee to hold. After a
   // successful resume the run continues bit-exactly where the saved one
@@ -149,6 +178,14 @@ class ReinforceTrainer {
               std::vector<double> advantages, double tau) const;
   std::vector<double> episode_rewards(const sim::ClusterEnv& env) const;
 
+  // Lazily builds the persistent worker agents (one clone of the master per
+  // rollout thread) and, for rollout_threads > 1, the pool itself.
+  void ensure_workers();
+  // Runs fn(episode, worker) for every episode in [0, n) — inline on this
+  // thread at rollout_threads = 1, else scattered over the pool. Returns the
+  // busy seconds summed across workers (the *_cpu_seconds aggregate).
+  double run_on_workers(int n, const util::WorkerPool::Task& fn);
+
   core::DecimaAgent& agent_;
   TrainConfig config_;
   Rng rng_;
@@ -157,6 +194,16 @@ class ReinforceTrainer {
   double entropy_weight_;
   MovingAverage reward_rate_;  // r̄ for the differential reward
   int iteration_ = 0;
+
+  // Persistent per-worker agent clones: worker w touches worker_agents_[w]
+  // and nothing else, only from the pool task currently naming w, so the
+  // agents need no locks (docs/concurrency.md). Parameter values are
+  // re-snapshotted from the master at every iteration start; the embedding
+  // cache each clone owns then re-validates itself and stays warm across the
+  // iteration's episodes. pool_ is declared after worker_agents_ so its
+  // destructor joins the threads before the agents they borrow die.
+  std::vector<std::unique_ptr<core::DecimaAgent>> worker_agents_;
+  std::unique_ptr<util::WorkerPool> pool_;
 };
 
 // Greedy evaluation of a scheduler over full episodes; unfinished jobs are

@@ -25,7 +25,11 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <exception>
+#include <functional>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 // GNU-style attributes carrying Clang's capability analysis; see
 // https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for semantics.
@@ -132,6 +136,115 @@ class CondVar {
 
  private:
   std::condition_variable cv_;
+};
+
+// K persistent worker threads pulling task indices from one annotated queue.
+//
+// Built for the trainer's rollout/replay pool (rl::ReinforceTrainer,
+// docs/training.md "Parallel rollout & the determinism contract"): worker w
+// exclusively owns whatever per-worker state the caller indexes by w (an
+// agent clone, an embedding cache, a busy-seconds slot), so tasks need no
+// locking of their own — the queue below is the only shared state, and it
+// is fully guarded by mu_. Tasks are claimed dynamically (next_task_++), so
+// uneven task durations load-balance; callers that need determinism must
+// key every result and every random draw by the *task index*, never by the
+// worker index or the claim order.
+//
+// parallel_for() is a blocking scatter/gather: it seeds the queue, wakes
+// the workers, and returns only after every task ran (the mutex handoff
+// makes all task writes visible to the caller). One batch at a time, from
+// one coordinating thread — it is not itself reentrant.
+class WorkerPool {
+ public:
+  // A task: fn(task, worker) with task in [0, num_tasks) and worker in
+  // [0, size()).
+  using Task = std::function<void(int task, int worker)>;
+
+  explicit WorkerPool(int workers) {
+    const int k = workers < 1 ? 1 : workers;
+    threads_.reserve(static_cast<std::size_t>(k));
+    for (int w = 0; w < k; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~WorkerPool() EXCLUDES(mu_) {
+    {
+      MutexLock lk(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  // Runs fn(task, worker) for every task in [0, num_tasks) across the pool
+  // and blocks until all of them finished. The calling thread only
+  // coordinates — it never executes tasks, so per-worker state stays
+  // exclusively worker-owned. If tasks threw, the first exception (in
+  // completion order) is rethrown here after the batch drained.
+  void parallel_for(int num_tasks, const Task& fn) EXCLUDES(mu_) {
+    if (num_tasks <= 0) return;
+    std::exception_ptr error;
+    {
+      MutexLock lk(mu_);
+      fn_ = &fn;
+      num_tasks_ = num_tasks;
+      next_task_ = 0;
+      done_tasks_ = 0;
+      error_ = nullptr;
+      work_cv_.notify_all();
+      while (done_tasks_ < num_tasks_) done_cv_.wait(mu_);
+      fn_ = nullptr;
+      num_tasks_ = 0;
+      error = error_;
+      error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  void worker_loop(int worker) EXCLUDES(mu_) {
+    for (;;) {
+      int task = -1;
+      const Task* fn = nullptr;
+      {
+        MutexLock lk(mu_);
+        while (!stop_ && (fn_ == nullptr || next_task_ >= num_tasks_)) {
+          work_cv_.wait(mu_);
+        }
+        if (stop_) return;
+        task = next_task_++;
+        fn = fn_;
+      }
+      std::exception_ptr error;
+      try {
+        (*fn)(task, worker);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        MutexLock lk(mu_);
+        if (error && !error_) error_ = error;
+        if (++done_tasks_ == num_tasks_) done_cv_.notify_all();
+      }
+    }
+  }
+
+  Mutex mu_;
+  CondVar work_cv_;  // workers sleep here between tasks/batches
+  CondVar done_cv_;  // parallel_for sleeps here until the batch drains
+  const Task* fn_ GUARDED_BY(mu_) = nullptr;  // non-null while a batch runs
+  int num_tasks_ GUARDED_BY(mu_) = 0;
+  int next_task_ GUARDED_BY(mu_) = 0;   // next unclaimed task index
+  int done_tasks_ GUARDED_BY(mu_) = 0;  // tasks fully executed
+  std::exception_ptr error_ GUARDED_BY(mu_);  // first task failure, if any
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace decima::util

@@ -298,7 +298,7 @@ rl::TrainConfig train_config(int threads) {
   rl::TrainConfig c;
   c.num_iterations = 2;
   c.episodes_per_iter = 4;
-  c.num_threads = threads;
+  c.rollout_threads = threads;
   c.curriculum = false;
   c.differential_reward = false;
   c.env = tiny_env();

@@ -43,7 +43,7 @@ rl::TrainConfig train_config() {
   rl::TrainConfig c;
   c.num_iterations = 6;
   c.episodes_per_iter = 4;
-  c.num_threads = 2;
+  c.rollout_threads = 2;
   c.curriculum = false;
   c.differential_reward = true;  // exercises the reward-rate moving average
   c.entropy_weight = 0.05;
@@ -227,12 +227,61 @@ TEST(TrainerCheckpoint, RejectsConfigMismatch) {
   rl::ReinforceTrainer trainer2(other_agent, train_config());
   EXPECT_FALSE(trainer2.resume(path));
 
-  // num_threads may legitimately differ (determinism is thread-invariant).
+  // rollout_threads may legitimately differ (determinism is thread-invariant).
   auto threads = train_config();
-  threads.num_threads = 1;
+  threads.rollout_threads = 1;
   core::DecimaAgent agent3(ac);
   rl::ReinforceTrainer trainer3(agent3, threads);
   EXPECT_TRUE(trainer3.resume(path));
+}
+
+TEST(TrainerCheckpoint, ResumeAcrossThreadCountsBitExact) {
+  // The parallel-rollout determinism contract composed with resume
+  // (docs/training.md): train(N, threads=8) must equal
+  // train(k, threads=8) + save + resume(threads=2) + train(N−k) bit for
+  // bit — the checkpoint deliberately excludes rollout_threads, so a run
+  // may be suspended on one machine size and finished on another.
+  const std::string path = tmp_path("trainer_resume_threads.ckpt");
+  const int total_iters = 6, split = 3;
+  core::AgentConfig ac;
+  ac.seed = 5;
+
+  auto cfg8 = train_config();
+  cfg8.rollout_threads = 8;
+  core::DecimaAgent straight_agent(ac);
+  rl::ReinforceTrainer straight(straight_agent, cfg8);
+  for (int i = 0; i < total_iters; ++i) straight.iterate();
+
+  {
+    core::DecimaAgent agent(ac);
+    rl::ReinforceTrainer trainer(agent, cfg8);
+    for (int i = 0; i < split; ++i) trainer.iterate();
+    ASSERT_TRUE(trainer.save_checkpoint(path));
+  }
+  auto cfg2 = train_config();
+  cfg2.rollout_threads = 2;
+  core::DecimaAgent resumed_agent(ac);
+  rl::ReinforceTrainer resumed(resumed_agent, cfg2);
+  ASSERT_TRUE(resumed.resume(path));
+  EXPECT_EQ(resumed.iteration(), split);
+  for (int i = split; i < total_iters; ++i) resumed.iterate();
+
+  EXPECT_EQ(all_values(resumed_agent.params()),
+            all_values(straight_agent.params()));
+
+  // The final checkpoints — params, Adam moments, RNG stream, schedules —
+  // must be byte-identical too, not merely value-equal.
+  const std::string straight_path = tmp_path("trainer_straight8.ckpt");
+  const std::string resumed_path = tmp_path("trainer_resumed2.ckpt");
+  ASSERT_TRUE(straight.save_checkpoint(straight_path));
+  ASSERT_TRUE(resumed.save_checkpoint(resumed_path));
+  const auto bytes = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  ASSERT_FALSE(bytes(straight_path).empty());
+  EXPECT_EQ(bytes(straight_path), bytes(resumed_path));
 }
 
 TEST(RngState, RoundTripReproducesDrawSequence) {

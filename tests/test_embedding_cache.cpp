@@ -368,7 +368,7 @@ TEST(EmbeddingCacheAgent, TrainingWithCachedRolloutsIsUnchanged) {
     rl::TrainConfig train_config;
     train_config.num_iterations = 2;
     train_config.episodes_per_iter = 2;
-    train_config.num_threads = 2;
+    train_config.rollout_threads = 2;
     train_config.env.num_executors = 10;
     train_config.sampler = [](std::uint64_t seed) {
       Rng rng(seed);

@@ -1,0 +1,335 @@
+// The parallel-rollout determinism contract (docs/training.md):
+//
+//   train(N) with TrainConfig::rollout_threads ∈ {1, 2, 8} produces
+//   byte-equal parameters, byte-equal checkpoints, and bit-equal
+//   per-iteration dynamics stats (rewards, JCTs, action counts, grad
+//   norms, τ) — the thread count changes wall-clock and nothing else.
+//
+// rollout_threads = 1 is the sequential reference path; every other value
+// is pinned against it here, clean and under fault plans, across the
+// training ablations and multi-resource mode, plus a seeded property sweep
+// over random FaultPlans × thread counts. This suite runs in the ASan and
+// TSan CI jobs, so the same cases double as the memory/race proof of the
+// worker pool. Also here: the util::WorkerPool unit tests and the
+// IterationStats phase-timer invariants (no double-counting of concurrent
+// work).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "rl/reinforce.h"
+#include "sim/faults.h"
+#include "util/sync.h"
+
+namespace decima {
+namespace {
+
+sim::EnvConfig tiny_env(int execs = 3) {
+  sim::EnvConfig c;
+  c.num_executors = execs;
+  c.enable_moving_delay = false;
+  c.enable_wave_effect = false;
+  c.enable_inflation = false;
+  return c;
+}
+
+// Small randomized DAGs so episodes exercise real structure (levels,
+// parallelism choices) without inflating TSan runtime.
+rl::WorkloadSampler dag_sampler() {
+  return [](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<sim::JobSpec> jobs;
+    for (int i = 0; i < 3; ++i) {
+      sim::JobBuilder b("job" + std::to_string(i));
+      const int stages = rng.uniform_int(2, 4);
+      for (int s = 0; s < stages; ++s) {
+        b.stage(rng.uniform_int(1, 5), rng.uniform(0.5, 2.0),
+                s > 0 ? std::vector<int>{s - 1} : std::vector<int>{});
+      }
+      jobs.push_back(b.build());
+    }
+    return workload::batched(std::move(jobs));
+  };
+}
+
+rl::TrainConfig base_config() {
+  rl::TrainConfig c;
+  c.num_iterations = 2;
+  c.episodes_per_iter = 4;
+  c.rollout_threads = 1;
+  c.curriculum = false;
+  c.differential_reward = false;
+  c.entropy_weight = 0.05;
+  c.env = tiny_env();
+  c.sampler = dag_sampler();
+  c.seed = 31;
+  return c;
+}
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// Everything a training run may not change when only the thread count
+// changes: final parameter bytes, checkpoint bytes, and the dynamics
+// fields of every IterationStats (timings excluded — those are exactly
+// what the thread count is allowed to change).
+struct RunResult {
+  std::vector<std::vector<double>> params;
+  std::string checkpoint;
+  std::vector<rl::IterationStats> curve;
+};
+
+bool dynamics_equal(const rl::IterationStats& a, const rl::IterationStats& b) {
+  return a.iteration == b.iteration && a.tau == b.tau &&
+         a.mean_total_reward == b.mean_total_reward &&
+         a.mean_avg_jct == b.mean_avg_jct &&
+         a.total_actions == b.total_actions && a.grad_norm == b.grad_norm &&
+         a.entropy_weight == b.entropy_weight;
+}
+
+RunResult run_training(const core::AgentConfig& ac, rl::TrainConfig cfg,
+                       int threads, const std::string& tag) {
+  cfg.rollout_threads = threads;
+  core::DecimaAgent agent(ac);
+  rl::ReinforceTrainer trainer(agent, cfg);
+  RunResult r;
+  r.curve = trainer.train();
+  for (const nn::Param* p : agent.params().params()) {
+    r.params.push_back(p->value.raw());
+  }
+  const std::string path =
+      tmp_path("par_rollout_" + tag + "_t" + std::to_string(threads) + ".ckpt");
+  EXPECT_TRUE(trainer.save_checkpoint(path));
+  r.checkpoint = file_bytes(path);
+  EXPECT_FALSE(r.checkpoint.empty());
+  return r;
+}
+
+// Pins threads ∈ {1, 2, 8} (sequential reference first) to byte equality.
+void expect_thread_invariant(const core::AgentConfig& ac,
+                             const rl::TrainConfig& cfg,
+                             const std::string& tag) {
+  const RunResult ref = run_training(ac, cfg, 1, tag);
+  ASSERT_FALSE(ref.curve.empty());
+  EXPECT_GT(ref.curve.front().total_actions, 0);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(tag + " @ rollout_threads=" + std::to_string(threads));
+    const RunResult got = run_training(ac, cfg, threads, tag);
+    EXPECT_EQ(got.params, ref.params);
+    EXPECT_EQ(got.checkpoint, ref.checkpoint);
+    ASSERT_EQ(got.curve.size(), ref.curve.size());
+    for (std::size_t i = 0; i < ref.curve.size(); ++i) {
+      EXPECT_TRUE(dynamics_equal(got.curve[i], ref.curve[i]))
+          << "iteration " << i << " stats drifted";
+    }
+  }
+}
+
+// --- The equivalence suite --------------------------------------------------
+
+TEST(ParallelRollout, CleanTrainingIsThreadCountInvariant) {
+  core::AgentConfig ac;
+  ac.seed = 7;
+  expect_thread_invariant(ac, base_config(), "clean");
+}
+
+TEST(ParallelRollout, FaultPlanTrainingIsThreadCountInvariant) {
+  core::AgentConfig ac;
+  ac.seed = 7;
+  auto cfg = base_config();
+  cfg.env = tiny_env(4);
+  cfg.env.faults.failures = {{1, 2.0, 9.0}, {3, 4.0, sim::kInfTime}};
+  cfg.env.faults.stragglers = {0.25, 4.0};
+  cfg.env.faults.executor_speeds = {1.0, 0.5, 1.0, 0.75};
+  cfg.env.faults.seed = 99;
+  expect_thread_invariant(ac, cfg, "faults");
+}
+
+TEST(ParallelRollout, AblationsAreThreadCountInvariant) {
+  // Every training-dynamics switch crosses the worker pool differently
+  // (per-episode workload seeds, the reward-rate moving average, τ draws,
+  // the reference replay path, cache off) — each must stay bit-identical.
+  struct Variant {
+    std::string tag;
+    std::function<void(core::AgentConfig&, rl::TrainConfig&)> apply;
+  };
+  const std::vector<Variant> variants = {
+      {"unfixed_sequences",
+       [](core::AgentConfig&, rl::TrainConfig& t) {
+         t.fixed_sequences = false;
+       }},
+      {"differential_curriculum",
+       [](core::AgentConfig&, rl::TrainConfig& t) {
+         t.differential_reward = true;
+         t.curriculum = true;
+         t.tau_mean_init = 20.0;
+         t.tau_mean_growth = 5.0;
+       }},
+      {"makespan",
+       [](core::AgentConfig&, rl::TrainConfig& t) {
+         t.objective = rl::Objective::kMakespan;
+         t.normalize_advantages = false;
+       }},
+      {"no_gnn",
+       [](core::AgentConfig& a, rl::TrainConfig&) { a.use_gnn = false; }},
+      {"reference_replay",
+       [](core::AgentConfig& a, rl::TrainConfig&) {
+         a.batched_replay = false;
+       }},
+      {"no_embed_cache",
+       [](core::AgentConfig& a, rl::TrainConfig&) { a.embed_cache = false; }},
+  };
+  for (const Variant& v : variants) {
+    SCOPED_TRACE(v.tag);
+    core::AgentConfig ac;
+    ac.seed = 7;
+    auto cfg = base_config();
+    cfg.num_iterations = 1;  // one iteration per variant keeps TSan runtime sane
+    v.apply(ac, cfg);
+    expect_thread_invariant(ac, cfg, v.tag);
+  }
+}
+
+TEST(ParallelRollout, MultiResourceTrainingIsThreadCountInvariant) {
+  core::AgentConfig ac;
+  ac.seed = 7;
+  ac.multi_resource = true;
+  auto cfg = base_config();
+  cfg.env.classes = {{0.5, "small"}, {1.0, "large"}};
+  cfg.env.num_executors = 4;
+  expect_thread_invariant(ac, cfg, "multi_resource");
+}
+
+TEST(ParallelRollout, MoreThreadsThanEpisodes) {
+  // 8 workers, 3 episodes: idle workers must not perturb anything.
+  core::AgentConfig ac;
+  ac.seed = 7;
+  auto cfg = base_config();
+  cfg.episodes_per_iter = 3;
+  expect_thread_invariant(ac, cfg, "overprovisioned");
+}
+
+// --- Seeded property sweep: random FaultPlans × thread counts ---------------
+
+TEST(ParallelRollout, RandomFaultPlanSweepMatchesSequentialReference) {
+  for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    SCOPED_TRACE("fault plan seed " + std::to_string(seed));
+    Rng rng(seed);
+    auto cfg = base_config();
+    cfg.num_iterations = 1;
+    cfg.env = tiny_env(4);
+    cfg.env.faults.failures =
+        sim::random_failures(rng, 4, rng.uniform_int(1, 3), 20.0, 8.0);
+    cfg.env.faults.stragglers = {rng.uniform(0.0, 0.3), 4.0};
+    cfg.env.faults.executor_speeds =
+        sim::heterogeneous_speeds(rng, 4, 0.5, 2.0);
+    cfg.env.faults.seed = rng.fork();
+    cfg.seed = rng.fork();
+    core::AgentConfig ac;
+    ac.seed = 7 + seed;
+    expect_thread_invariant(ac, cfg, "sweep" + std::to_string(seed));
+  }
+}
+
+// --- Phase-timer invariants (IterationStats) --------------------------------
+
+TEST(ParallelRollout, PhaseTimersNeverDoubleCountConcurrentWork) {
+  for (int threads : {1, 3}) {
+    SCOPED_TRACE("rollout_threads=" + std::to_string(threads));
+    core::AgentConfig ac;
+    ac.seed = 7;
+    auto cfg = base_config();
+    cfg.rollout_threads = threads;
+    core::DecimaAgent agent(ac);
+    rl::ReinforceTrainer trainer(agent, cfg);
+    const rl::IterationStats s = trainer.iterate();
+
+    // Phases are disjoint sub-spans of the iteration on one monotonic
+    // clock: wall-clock timers are non-negative and partition the total.
+    EXPECT_GE(s.rollout_seconds, 0.0);
+    EXPECT_GE(s.replay_seconds, 0.0);
+    EXPECT_GE(s.step_seconds, 0.0);
+    EXPECT_NEAR(s.rollout_seconds + s.replay_seconds + s.step_seconds,
+                s.total_seconds, 1e-12);
+
+    // Per-worker busy seconds: actual compute happened, and each worker's
+    // busy spans nest inside the phase span, so the aggregate can never
+    // exceed threads × phase wall-clock (the double-counting bound).
+    EXPECT_GT(s.rollout_cpu_seconds, 0.0);
+    EXPECT_GT(s.replay_cpu_seconds, 0.0);
+    EXPECT_LE(s.rollout_cpu_seconds,
+              threads * s.rollout_seconds * (1.0 + 1e-9));
+    EXPECT_LE(s.replay_cpu_seconds, threads * s.replay_seconds * (1.0 + 1e-9));
+  }
+}
+
+// --- util::WorkerPool -------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnceWithValidWorkerIndex) {
+  util::WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  const int n = 64;
+  std::vector<int> runs(n, 0);
+  std::vector<int> worker_of(n, -1);
+  pool.parallel_for(n, [&](int task, int worker) {
+    runs[static_cast<std::size_t>(task)] += 1;
+    worker_of[static_cast<std::size_t>(task)] = worker;
+  });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(runs[static_cast<std::size_t>(i)], 1) << "task " << i;
+    EXPECT_GE(worker_of[static_cast<std::size_t>(i)], 0);
+    EXPECT_LT(worker_of[static_cast<std::size_t>(i)], pool.size());
+  }
+}
+
+TEST(WorkerPool, ReusableAcrossBatchesAndTaskCounts) {
+  util::WorkerPool pool(3);
+  for (int batch = 0; batch < 5; ++batch) {
+    const int n = 1 + batch * 2;  // includes fewer tasks than workers
+    std::vector<int> runs(static_cast<std::size_t>(n), 0);
+    pool.parallel_for(n, [&](int task, int) {
+      runs[static_cast<std::size_t>(task)] += 1;
+    });
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(runs[static_cast<std::size_t>(i)], 1);
+    }
+  }
+}
+
+TEST(WorkerPool, ZeroAndNegativeTaskCountsAreNoOps) {
+  util::WorkerPool pool(2);
+  int ran = 0;
+  pool.parallel_for(0, [&](int, int) { ++ran; });
+  pool.parallel_for(-3, [&](int, int) { ++ran; });
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(WorkerPool, PropagatesTaskExceptionAfterDrainingTheBatch) {
+  util::WorkerPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&](int task, int) {
+                          if (task == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing batch.
+  int ran = 0;
+  util::Mutex mu;
+  pool.parallel_for(4, [&](int, int) {
+    util::MutexLock lk(mu);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 4);
+}
+
+}  // namespace
+}  // namespace decima

@@ -34,7 +34,7 @@ TrainConfig base_config() {
   TrainConfig c;
   c.num_iterations = 40;
   c.episodes_per_iter = 6;
-  c.num_threads = 4;
+  c.rollout_threads = 4;
   c.curriculum = false;  // tiny batch episodes finish quickly anyway
   c.differential_reward = false;
   c.entropy_weight = 0.05;
@@ -159,7 +159,7 @@ TEST(Trainer, DeterministicAcrossRuns) {
     core::DecimaAgent agent(ac);
     auto cfg = base_config();
     cfg.num_iterations = 3;
-    cfg.num_threads = 3;
+    cfg.rollout_threads = 3;
     ReinforceTrainer trainer(agent, cfg);
     trainer.train();
     return agent.params().params()[0]->value.raw();
