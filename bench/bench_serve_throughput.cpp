@@ -13,8 +13,10 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "gnn/embedding_cache.h"
 #include "io/checkpoint.h"
 #include "serve/policy_server.h"
+#include "util/stats.h"
 
 using namespace decima;
 
@@ -24,9 +26,45 @@ struct RunResult {
   double wall_seconds = 0.0;
   std::uint64_t decisions = 0;
   double mean_batch = 0.0;
+  // End-to-end decide_with_status latency as the sessions saw it, merged
+  // across session threads after the join (docs/observability.md).
+  std::vector<double> latencies_us;
+  // Aggregate per-session embedding-cache accounting; 0 when the policy
+  // snapshot was exported with embed_cache off.
+  double cache_hit_rate = 0.0;
   double decisions_per_sec() const {
     return static_cast<double>(decisions) / std::max(wall_seconds, 1e-12);
   }
+  double latency_pct(double p) const {
+    return percentile(latencies_us, p);
+  }
+};
+
+// ServedScheduler plus a wall-clock stamp around every server query. The
+// sample vector is session-owned and pre-sized, so timing adds two clock
+// reads per decision and no locks or allocation to the measured loop.
+class TimedServedScheduler : public sim::Scheduler {
+ public:
+  TimedServedScheduler(serve::PolicyServer& server,
+                       std::vector<double>& samples_us)
+      : sched_(server), samples_us_(samples_us) {}
+  sim::Action schedule(const sim::ClusterEnv& env) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    sim::Action a = sched_.schedule(env);
+    samples_us_.push_back(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return a;
+  }
+  std::string name() const override { return "Decima-served-timed"; }
+  const gnn::EmbeddingCacheStats& embed_cache_stats() const {
+    return sched_.embed_cache_stats();
+  }
+
+ private:
+  serve::ServedScheduler sched_;
+  std::vector<double>& samples_us_;
 };
 
 RunResult run_sessions(const std::string& ckpt, bool batching, int sessions,
@@ -40,13 +78,22 @@ RunResult run_sessions(const std::string& ckpt, bool batching, int sessions,
     std::cerr << "failed to load " << ckpt << "\n";
     std::exit(1);
   }
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(sessions));
+  std::vector<gnn::EmbeddingCacheStats> cache_stats(
+      static_cast<std::size_t>(sessions));
+  for (auto& v : latencies) v.reserve(4096);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(sessions));
   for (int s = 0; s < sessions; ++s) {
     threads.emplace_back([&, s] {
-      serve::run_session(*server, env,
-                         session_workloads[static_cast<std::size_t>(s)]);
+      const std::size_t ss = static_cast<std::size_t>(s);
+      sim::ClusterEnv cluster(env);
+      workload::load(cluster, session_workloads[ss]);
+      TimedServedScheduler sched(*server, latencies[ss]);
+      cluster.run(sched, sim::kInfTime);
+      cache_stats[ss] = sched.embed_cache_stats();
     });
   }
   for (auto& t : threads) t.join();
@@ -57,6 +104,17 @@ RunResult run_sessions(const std::string& ckpt, bool batching, int sessions,
   const auto stats = server->stats();
   r.decisions = stats.decisions;
   r.mean_batch = stats.mean_batch_size;
+  std::uint64_t seen = 0, reused = 0;
+  for (int s = 0; s < sessions; ++s) {
+    const std::size_t ss = static_cast<std::size_t>(s);
+    r.latencies_us.insert(r.latencies_us.end(), latencies[ss].begin(),
+                          latencies[ss].end());
+    seen += cache_stats[ss].graphs_seen;
+    reused += cache_stats[ss].graphs_reused;
+  }
+  r.cache_hit_rate =
+      seen == 0 ? 0.0
+                : static_cast<double>(reused) / static_cast<double>(seen);
   return r;
 }
 
@@ -119,9 +177,11 @@ int main() {
   run_sessions(ckpt, /*batching=*/true, 2, env, session_workloads);
 
   Table t({"sessions", "sequential [dec/s]", "batched [dec/s]", "speedup",
-           "+embed cache [dec/s]", "cache speedup", "mean batch"});
+           "+embed cache [dec/s]", "cache speedup", "mean batch",
+           "p50/p95/p99 [us]", "cache hit"});
   double speedup_at_max = 0.0;
   double cache_speedup_at_max = 0.0;
+  double cache_hit_rate_at_max = 0.0;
   for (int sessions : session_counts) {
     const RunResult seq =
         run_sessions(ckpt, /*batching=*/false, sessions, env, session_workloads);
@@ -135,10 +195,15 @@ int main() {
         cached.decisions_per_sec() / std::max(bat.decisions_per_sec(), 1e-12);
     speedup_at_max = speedup;
     cache_speedup_at_max = cache_speedup;
+    cache_hit_rate_at_max = cached.cache_hit_rate;
     t.add_row({fmt_int(sessions), fmt(seq.decisions_per_sec(), 0),
                fmt(bat.decisions_per_sec(), 0), fmt(speedup, 2),
                fmt(cached.decisions_per_sec(), 0), fmt(cache_speedup, 2),
-               fmt(bat.mean_batch, 2)});
+               fmt(bat.mean_batch, 2),
+               fmt(bat.latency_pct(50.0), 0) + "/" +
+                   fmt(bat.latency_pct(95.0), 0) + "/" +
+                   fmt(bat.latency_pct(99.0), 0),
+               fmt(cached.cache_hit_rate, 2)});
     const std::string key = "sessions" + std::to_string(sessions);
     json.set(key + "_sequential_dps", seq.decisions_per_sec());
     json.set(key + "_batched_dps", bat.decisions_per_sec());
@@ -147,11 +212,19 @@ int main() {
     json.set(key + "_cache_speedup", cache_speedup);
     json.set(key + "_mean_batch", bat.mean_batch);
     json.set(key + "_decisions", static_cast<double>(bat.decisions));
+    json.set(key + "_latency_p50_us", bat.latency_pct(50.0));
+    json.set(key + "_latency_p95_us", bat.latency_pct(95.0));
+    json.set(key + "_latency_p99_us", bat.latency_pct(99.0));
+    json.set(key + "_cache_hit_rate", cached.cache_hit_rate);
   }
+  // The headline hit rate of the cached configuration at the deepest
+  // concurrency level — the number the ROADMAP cache refactor tracks.
+  json.set("cache_hit_rate", cache_hit_rate_at_max);
   std::cout << t.to_string();
   std::cout << "\nat " << max_sessions << " sessions: cross-session batching "
             << fmt(speedup_at_max, 2) << "x, embedding cache a further "
-            << fmt(cache_speedup_at_max, 2) << "x on top\n";
+            << fmt(cache_speedup_at_max, 2) << "x on top (hit rate "
+            << fmt(cache_hit_rate_at_max, 2) << ")\n";
 
   const std::string path = json.write();
   if (!path.empty()) std::cout << "\n[bench] wrote " << path << "\n";

@@ -42,6 +42,14 @@ from pathlib import Path
 BENCH_REGISTRY = {
     "BENCH_embed_cache.json": {"n50_d2_speedup": 1.5},
     "BENCH_fig12.json": {},
+    "BENCH_observability.json": {
+        # Instrumentation-overhead gate (docs/observability.md): serving
+        # throughput with metrics+tracing ON over OFF, interleaved
+        # median-of-3. Ideal is 1.0 (recording is relaxed atomics behind one
+        # flag load); the floor allows 3% for runner noise — below it, the
+        # observability layer has grown a real hot-path tax.
+        "metrics_on_vs_off_ratio": 0.97,
+    },
     "BENCH_scenarios.json": {
         # Clean scenario: the trained policy must not lose to the WORST
         # heuristic (the fault scenarios report ungated plain ratios — the

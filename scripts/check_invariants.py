@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-invariant lint: the rules the compilers cannot check.
 
-Five standing invariants, enforced at zero findings by the CI
+Six standing invariants, enforced at zero findings by the CI
 ``static-analysis`` job (and by ``ctest -R check_invariants`` locally):
 
 1. **sync-primitives** — no raw ``std::mutex`` / ``std::condition_variable``
@@ -26,6 +26,11 @@ Five standing invariants, enforced at zero findings by the CI
    invariance: parallelism knobs must change wall-clock only, never
    results (docs/training.md, "Parallel rollout & the determinism
    contract").
+6. **obs-docs-inventory** — every metric/span name constant in
+   ``src/obs/metric_names.h`` appears (backticked) in the inventory of
+   ``docs/observability.md``, and every ``serve.`` / ``train.`` / ``cache.``
+   name the doc lists still has its constant. The observable surface and its
+   documentation may never drift apart.
 
 Exits 0 with a one-line summary when clean; prints every finding as
 ``file:line: [rule] message`` and exits 1 otherwise.
@@ -94,6 +99,18 @@ FORBIDDEN_FP_FLAGS = [
     "FP_CONTRACT ON",
 ]
 REQUIRED_FP_GUARD = "-ffp-contract=off"
+
+# --- rule 6: obs metric-name inventory <-> docs ------------------------------
+
+OBS_NAMES_HEADER = Path("src/obs/metric_names.h")
+OBS_DOC = Path("docs/observability.md")
+# `inline constexpr char kFoo[] = "plane.name";` — \s* spans the line wrap
+# clang-format introduces on long names.
+OBS_NAME_RE = re.compile(
+    r'inline\s+constexpr\s+char\s+k\w+\[\]\s*=\s*"([^"]+)"')
+# A backticked `plane.name` token in the doc; restricted to the known plane
+# prefixes so prose mentions of other dotted identifiers don't count.
+OBS_DOC_NAME_RE = re.compile(r"`((?:serve|train|cache)\.[a-z0-9_]+)`")
 
 # ----------------------------------------------------------------------------
 
@@ -308,6 +325,42 @@ def findings_thread_knob_pinning():
     return found
 
 
+def findings_obs_docs_inventory():
+    """Rule 6: src/obs/metric_names.h and the docs/observability.md
+    inventory enumerate the same set of names, checked in both directions."""
+    found = []
+    header = REPO / OBS_NAMES_HEADER
+    doc = REPO / OBS_DOC
+    header_text = header.read_text()
+    constants = {}  # metric/span name -> declaration line
+    for m in OBS_NAME_RE.finditer(header_text):
+        constants.setdefault(m.group(1),
+                             header_text.count("\n", 0, m.start()) + 1)
+    if not doc.is_file():
+        found.append(
+            (OBS_NAMES_HEADER, 1, "obs-docs-inventory",
+             f"{OBS_DOC} is missing — the metric-name inventory must be "
+             f"documented"))
+        return found
+    documented = {}  # name -> first doc line mentioning it
+    for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+        for m in OBS_DOC_NAME_RE.finditer(line):
+            documented.setdefault(m.group(1), lineno)
+    for name, lineno in sorted(constants.items()):
+        if name not in documented:
+            found.append(
+                (OBS_NAMES_HEADER, lineno, "obs-docs-inventory",
+                 f"metric/span name '{name}' has no backticked entry in "
+                 f"{OBS_DOC} — add it to the inventory table"))
+    for name, lineno in sorted(documented.items()):
+        if name not in constants:
+            found.append(
+                (OBS_DOC, lineno, "obs-docs-inventory",
+                 f"documented name '{name}' has no constant in "
+                 f"{OBS_NAMES_HEADER} — stale inventory entry"))
+    return found
+
+
 def main() -> int:
     rules = [
         findings_sync_primitives,
@@ -315,6 +368,7 @@ def main() -> int:
         findings_fp_flags,
         findings_bench_registry,
         findings_thread_knob_pinning,
+        findings_obs_docs_inventory,
     ]
     findings = []
     for rule in rules:

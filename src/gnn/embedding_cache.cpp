@@ -10,10 +10,37 @@
 #include <cassert>
 
 #include "gnn/graph_embedding.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace decima::gnn {
 
 namespace {
+
+// Process-wide cache counters (docs/observability.md): the per-cache
+// EmbeddingCacheStats stay the exact per-session/per-agent ledger; these
+// aggregate across every cache in the process so a serve run's global hit
+// rate is one registry read. Registered once, recording is a relaxed
+// atomic, and a no-op while metrics are disabled.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& epoch_fast_hits;
+  obs::Counter& diff_refreshes;
+  obs::Counter& dirty_rows;
+  obs::Counter& invalidations;
+
+  static CacheMetrics& get() {
+    static CacheMetrics* m = new CacheMetrics{
+        obs::Registry::instance().counter(obs::names::kCacheGraphHits),
+        obs::Registry::instance().counter(obs::names::kCacheGraphMisses),
+        obs::Registry::instance().counter(obs::names::kCacheEpochFastHits),
+        obs::Registry::instance().counter(obs::names::kCacheDiffRefreshes),
+        obs::Registry::instance().counter(obs::names::kCacheDirtyRows),
+        obs::Registry::instance().counter(obs::names::kCacheInvalidations)};
+    return *m;
+  }
+};
 
 // out row i = src row rows[i].
 nn::Matrix gather_rows(const nn::Matrix& src,
@@ -43,6 +70,7 @@ void scatter_rows(const nn::Matrix& src, const std::vector<std::size_t>& rows,
 void EmbeddingCache::invalidate() {
   entries_.clear();
   ++stats_.invalidations;
+  CacheMetrics::get().invalidations.inc();
 }
 
 void EmbeddingCache::ensure_param_version(std::uint64_t version) {
@@ -143,6 +171,7 @@ void GraphEmbedding::update_cache_entry(
     for (std::size_t v : dirty_level) e.f_valid[v] = 0;
   }
   stats.nodes_recomputed += recomputed;
+  CacheMetrics::get().dirty_rows.inc(recomputed);
 
   // Job level: f'([proj(x_v), e_v]) for every changed node, then the summary
   // re-reduced over ALL rows in node order — the same summation order as the
@@ -187,6 +216,7 @@ const EmbeddingCache::Entry& GraphEmbedding::refresh_cache_entry(
     // New job behind this key (or a different graph recycling it): rebuild
     // from scratch — the shared update path with every node feature-dirty.
     ++cache.stats_.graphs_rebuilt;
+    CacheMetrics::get().misses.inc();
     e = EmbeddingCache::Entry{};
     e.last_used = cache.event_clock_;
     e.children = graph.children;
@@ -207,6 +237,8 @@ const EmbeddingCache::Entry& GraphEmbedding::refresh_cache_entry(
     // The simulator's mutation hooks guarantee no feature input changed.
     ++cache.stats_.graphs_reused;
     ++cache.stats_.epoch_fast_hits;
+    CacheMetrics::get().hits.inc();
+    CacheMetrics::get().epoch_fast_hits.inc();
     return e;
   } else {
     std::vector<std::size_t> feat_dirty;
@@ -219,7 +251,11 @@ const EmbeddingCache::Entry& GraphEmbedding::refresh_cache_entry(
     }
     if (feat_dirty.empty()) {
       ++cache.stats_.graphs_reused;
+      CacheMetrics::get().hits.inc();
     } else {
+      ++cache.stats_.diff_refreshes;
+      CacheMetrics::get().misses.inc();
+      CacheMetrics::get().diff_refreshes.inc();
       update_cache_entry(graph, feat_dirty, e, cache.stats_);
     }
   }

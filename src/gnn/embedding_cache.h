@@ -45,6 +45,7 @@ struct EmbeddingCacheStats {
   std::uint64_t graphs_reused = 0;     // fully clean: no MLP work at all
   std::uint64_t graphs_rebuilt = 0;    // new job / structure change: full
   std::uint64_t epoch_fast_hits = 0;   // clean hits that skipped the diff
+  std::uint64_t diff_refreshes = 0;    // diff path that re-embedded rows
   std::uint64_t nodes_total = 0;       // nodes presented for embedding
   std::uint64_t nodes_recomputed = 0;  // nodes actually re-embedded
   std::uint64_t invalidations = 0;     // full clears (parameter changes)
@@ -67,6 +68,24 @@ class EmbeddingCache {
 
   const EmbeddingCacheStats& stats() const { return stats_; }
   std::size_t size() const { return entries_.size(); }
+
+  // Hit/miss/dirty-row accounting, the ground truth the serving plane and
+  // the ROADMAP cache refactor read (docs/observability.md). A hit reused
+  // the entry with no MLP work (epoch fast path or an empty feature diff);
+  // a miss did some — a full rebuild or a diff-path partial re-embed.
+  std::uint64_t hits() const { return stats_.graphs_reused; }
+  std::uint64_t misses() const {
+    return stats_.graphs_seen - stats_.graphs_reused;
+  }
+  // Node rows actually re-embedded (dirty closure over message flow).
+  std::uint64_t dirty_rows() const { return stats_.nodes_recomputed; }
+  // hits() / graphs seen; 0 before the first refresh.
+  double hit_rate() const {
+    return stats_.graphs_seen == 0
+               ? 0.0
+               : static_cast<double>(stats_.graphs_reused) /
+                     static_cast<double>(stats_.graphs_seen);
+  }
 
  private:
   friend class GraphEmbedding;

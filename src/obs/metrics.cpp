@@ -1,0 +1,269 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace decima::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+void set_metrics_enabled(bool on) { detail::g_metrics_enabled.store(on); }
+void set_tracing_enabled(bool on) { detail::g_tracing_enabled.store(on); }
+void set_enabled(bool on) {
+  set_metrics_enabled(on);
+  set_tracing_enabled(on);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_bounds_us();
+  std::sort(bounds_.begin(), bounds_.end());
+  // make_unique value-initializes: every bucket starts at zero.
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // may be overflow slot
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::percentile(double p) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  const double target = clamped / 100.0 * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i == bounds_.size()) return bounds_.back();  // overflow: floor
+      const double upper = bounds_[i];
+      const double frac =
+          std::max(target - cum, 0.0) / static_cast<double>(counts[i]);
+      return lower + frac * (upper - lower);
+    }
+    cum = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double hi,
+                                                  int n) {
+  std::vector<double> out;
+  if (n <= 0 || lo <= 0.0 || hi <= lo) return out;
+  out.reserve(static_cast<std::size_t>(n));
+  const double step =
+      std::pow(hi / lo, 1.0 / static_cast<double>(std::max(n - 1, 1)));
+  double b = lo;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(b);
+    b *= step;
+  }
+  out.back() = hi;  // kill accumulated rounding on the top bound
+  return out;
+}
+
+std::vector<double> Histogram::default_latency_bounds_us() {
+  // 1µs .. 10s in 60 geometric steps (~31% each): sub-bucket interpolation
+  // keeps p50/p95/p99 well inside bench noise for serve-scale latencies.
+  return exponential_bounds(1.0, 1e7, 60);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry& Registry::instance() {
+  static Registry* g = new Registry();  // leak: outlive static destructors
+  return *g;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  util::MutexLock lk(mu_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) return *c;
+  }
+  counters_.push_back(std::make_unique<Counter>(name));
+  return *counters_.back();
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  util::MutexLock lk(mu_);
+  for (const auto& g : gauges_) {
+    if (g->name() == name) return *g;
+  }
+  gauges_.push_back(std::make_unique<Gauge>(name));
+  return *gauges_.back();
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  util::MutexLock lk(mu_);
+  for (const auto& h : histograms_) {
+    if (h->name() == name) return *h;
+  }
+  histograms_.push_back(
+      std::make_unique<Histogram>(name, std::move(bounds)));
+  return *histograms_.back();
+}
+
+void Registry::reset() {
+  util::MutexLock lk(mu_);
+  for (const auto& c : counters_) {
+    c->v_.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& g : gauges_) {
+    g->v_.store(0.0, std::memory_order_relaxed);
+  }
+  for (const auto& h : histograms_) {
+    for (std::size_t i = 0; i <= h->bounds_.size(); ++i) {
+      h->counts_[i].store(0, std::memory_order_relaxed);
+    }
+    h->sum_.store(0.0, std::memory_order_relaxed);
+    h->count_.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// Full precision without trailing-zero noise; metrics are diffed by humans.
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+template <typename T>
+std::vector<const T*> sorted_by_name(
+    const std::vector<std::unique_ptr<T>>& items) {
+  std::vector<const T*> out;
+  out.reserve(items.size());
+  for (const auto& i : items) out.push_back(i.get());
+  std::sort(out.begin(), out.end(), [](const T* a, const T* b) {
+    return a->name() < b->name();
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::text_dump() const {
+  util::MutexLock lk(mu_);
+  std::ostringstream os;
+  for (const Counter* c : sorted_by_name(counters_)) {
+    os << "counter " << c->name() << " " << c->value() << "\n";
+  }
+  for (const Gauge* g : sorted_by_name(gauges_)) {
+    os << "gauge " << g->name() << " " << fmt_double(g->value()) << "\n";
+  }
+  for (const Histogram* h : sorted_by_name(histograms_)) {
+    os << "histogram " << h->name() << " count " << h->count() << " sum "
+       << fmt_double(h->sum()) << " p50 " << fmt_double(h->percentile(50))
+       << " p95 " << fmt_double(h->percentile(95)) << " p99 "
+       << fmt_double(h->percentile(99)) << "\n";
+  }
+  return os.str();
+}
+
+std::string Registry::json_dump() const {
+  util::MutexLock lk(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const Counter* c : sorted_by_name(counters_)) {
+    os << (first ? "" : ",") << "\n    \"" << c->name()
+       << "\": " << c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const Gauge* g : sorted_by_name(gauges_)) {
+    os << (first ? "" : ",") << "\n    \"" << g->name()
+       << "\": " << fmt_double(g->value());
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const Histogram* h : sorted_by_name(histograms_)) {
+    os << (first ? "" : ",") << "\n    \"" << h->name() << "\": {\"count\": "
+       << h->count() << ", \"sum\": " << fmt_double(h->sum())
+       << ", \"p50\": " << fmt_double(h->percentile(50))
+       << ", \"p95\": " << fmt_double(h->percentile(95))
+       << ", \"p99\": " << fmt_double(h->percentile(99)) << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+bool Registry::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << json_dump();
+  return static_cast<bool>(out);
+}
+
+std::vector<std::string> Registry::metric_names() const {
+  util::MutexLock lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& c : counters_) out.push_back(c->name());
+  for (const auto& g : gauges_) out.push_back(g->name());
+  for (const auto& h : histograms_) out.push_back(h->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- ScopedLatencyUs --------------------------------------------------------
+
+ScopedLatencyUs::ScopedLatencyUs(Histogram& h)
+    : h_(h), armed_(metrics_enabled()) {
+  if (armed_) {
+    t0_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count();
+  }
+}
+
+ScopedLatencyUs::~ScopedLatencyUs() {
+  if (!armed_) return;
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  h_.observe(static_cast<double>(now_ns - t0_ns_) * 1e-3);
+}
+
+}  // namespace decima::obs

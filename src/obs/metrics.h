@@ -1,0 +1,207 @@
+// Runtime metrics registry (docs/observability.md).
+//
+// A process-global, thread-safe registry of named counters, gauges, and
+// fixed-bucket latency histograms, built so the three concurrent planes
+// (training, serving, embedding cache) can expose what happens *inside* a
+// request or an iteration — queue waits, batch shapes, hit rates, tail
+// latencies — without the offline BENCH_*.json aggregates being the only
+// window into the system.
+//
+// Design rules:
+//   * Global off by default. Every recording call first reads one relaxed
+//     atomic flag and returns — the disabled path is a load + branch, no
+//     locks, no allocation, no clock reads (bench_observability pins the
+//     enabled-path tax too: metrics-on throughput ≥ 0.97× metrics-off,
+//     floored in scripts/check_bench.py).
+//   * Recording is lock-free: counters and histogram buckets are relaxed
+//     atomics, gauges a CAS double. The registry mutex (util/sync.h,
+//     GUARDED_BY-annotated) guards only registration and dumps — handles
+//     returned by counter()/gauge()/histogram() are stable for the process
+//     lifetime, so hot paths register once (function-local static) and then
+//     never touch the map again.
+//   * Observation only. Nothing here feeds back into scheduling, training,
+//     or the RNG streams: training with metrics+tracing enabled is
+//     byte-identical to disabled (tests/test_observability.cpp pins this at
+//     rollout_threads 1 and 8, the same discipline as the PR 8 phase
+//     timers).
+//
+// Names come from src/obs/metric_names.h; docs/observability.md holds the
+// inventory (lint-enforced in both directions).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace decima::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+// The global toggles. Reading is one relaxed load; flipping is sequentially
+// consistent (a toggle is a rare, human-scale event). Metrics and tracing
+// flip independently: tracing buffers events and costs memory, metrics are
+// fixed-size aggregates.
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool on);
+void set_tracing_enabled(bool on);
+// Both at once — the "turn the observability layer on/off" switch.
+void set_enabled(bool on);
+
+// Monotonically increasing event count. inc() on the disabled path is a
+// relaxed load + branch.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  // Create via Registry::counter(); public only so make_unique can build it.
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+ private:
+  friend class Registry;  // reset() zeroes v_ in place
+  std::string name_;
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-written instantaneous value (pool utilization, queue depth, ...).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  // Create via Registry::gauge(); public only so make_unique can build it.
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+ private:
+  friend class Registry;  // reset() zeroes v_ in place
+  std::string name_;
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket histogram with percentile estimation.
+//
+// Buckets are ascending upper bounds; a sample lands in the first bucket
+// whose bound is >= the sample, with one implicit overflow bucket past the
+// last bound. Percentiles interpolate linearly inside the winning bucket
+// (the overflow bucket reports its lower bound — a floor, never an
+// invention), so accuracy is the bucket resolution: the default latency
+// ladder spans 1µs–10s at ~24% geometric steps, plenty for p50/p95/p99 of
+// serve latencies. Exact percentiles stay the job of util::percentile over
+// raw samples (bench_serve_throughput); this histogram is for always-on,
+// bounded-memory aggregation.
+class Histogram {
+ public:
+  void observe(double v) {
+    if (!metrics_enabled()) return;
+    record(v);
+  }
+  std::uint64_t count() const;
+  double sum() const;
+  // p in [0, 100]; 0 when the histogram is empty.
+  double percentile(double p) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  const std::string& name() const { return name_; }
+
+  // `n` geometrically spaced upper bounds from lo to hi (both > 0).
+  static std::vector<double> exponential_bounds(double lo, double hi, int n);
+  // The default ladder: exponential_bounds(1.0, 1e7, 60) microseconds.
+  static std::vector<double> default_latency_bounds_us();
+
+  // Create via Registry::histogram(); public only for make_unique.
+  Histogram(std::string name, std::vector<double> bounds);
+
+ private:
+  friend class Registry;  // reset() zeroes buckets in place
+  void record(double v);
+
+  std::string name_;
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds+overflow
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+// The process-global name → handle table. instance() is the one everybody
+// shares; separate Registry objects exist only for tests.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Returns the handle registered under `name`, creating it on first use.
+  // Handles stay valid (and at a stable address) for the registry's
+  // lifetime. Hot paths cache the reference:
+  //   static obs::Counter& hits =
+  //       obs::Registry::instance().counter(obs::names::kCacheGraphHits);
+  Counter& counter(const std::string& name) EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) EXCLUDES(mu_);
+  // Empty `bounds` uses default_latency_bounds_us(). Bounds are fixed at
+  // first registration; later callers get the existing histogram.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {}) EXCLUDES(mu_);
+
+  // Zeroes every registered value (registrations and bucket layouts stay).
+  void reset() EXCLUDES(mu_);
+
+  // Flat `TYPE name value [p50 p95 p99]` lines, sorted by name.
+  std::string text_dump() const EXCLUDES(mu_);
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {count, sum, p50, p95, p99}}}.
+  std::string json_dump() const EXCLUDES(mu_);
+  // json_dump() to `path`; false on I/O error.
+  bool write_json(const std::string& path) const EXCLUDES(mu_);
+
+  // Every registered metric name, sorted (the docs-inventory surface).
+  std::vector<std::string> metric_names() const EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  // Registration is rare and lookup linear; unique_ptr keeps every handle
+  // at a stable address while the vectors grow. Dumps sort on the fly.
+  std::vector<std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
+};
+
+// RAII microsecond latency observation into a histogram: reads the clock
+// only when metrics are enabled at construction (disabled cost: one relaxed
+// load + branch at each end).
+class ScopedLatencyUs {
+ public:
+  explicit ScopedLatencyUs(Histogram& h);
+  ~ScopedLatencyUs();
+  ScopedLatencyUs(const ScopedLatencyUs&) = delete;
+  ScopedLatencyUs& operator=(const ScopedLatencyUs&) = delete;
+
+ private:
+  Histogram& h_;
+  bool armed_;
+  std::int64_t t0_ns_ = 0;
+};
+
+}  // namespace decima::obs

@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+namespace decima::obs {
+
+namespace {
+
+// Small dense per-thread id, assigned in first-use order: chrome://tracing
+// groups events by tid, and "1, 2, 3, ..." rows read better than opaque
+// native handles.
+int current_tid() {
+  static std::atomic<int> next{1};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+// Names are repo-controlled literals (src/obs/metric_names.h), but escape
+// anyway so a stray quote can never produce an unloadable trace.
+void append_escaped(std::ostringstream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* g = new Tracer();  // leak: outlive static destructors
+  return *g;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::record_complete(const char* name, const char* cat,
+                             std::chrono::steady_clock::time_point begin,
+                             std::chrono::steady_clock::time_point end) {
+  // No enabled-check here: a Span armed at construction records even if
+  // tracing was toggled off while it was open (the contract in trace.h).
+  // The disabled-path guard lives in the Span constructor.
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = std::chrono::duration<double, std::micro>(begin - epoch_).count();
+  e.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
+  e.tid = current_tid();
+  util::MutexLock lk(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(e);
+}
+
+std::size_t Tracer::size() const {
+  util::MutexLock lk(mu_);
+  return events_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  util::MutexLock lk(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  util::MutexLock lk(mu_);
+  events_.clear();
+  events_.shrink_to_fit();
+  dropped_ = 0;
+}
+
+void Tracer::set_capacity(std::size_t cap) {
+  util::MutexLock lk(mu_);
+  capacity_ = cap;
+  if (events_.size() > capacity_) {
+    events_.resize(capacity_);
+  }
+}
+
+std::string Tracer::chrome_json() const {
+  util::MutexLock lk(mu_);
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    os << (i == 0 ? "" : ",") << "\n  {\"name\": \"";
+    append_escaped(os, e.name);
+    os << "\", \"cat\": \"";
+    append_escaped(os, e.cat);
+    os << "\", \"ph\": \"X\", \"ts\": " << e.ts_us << ", \"dur\": "
+       << e.dur_us << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << chrome_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace decima::obs

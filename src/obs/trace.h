@@ -1,0 +1,102 @@
+// Scoped trace spans with Chrome trace-event export (docs/observability.md).
+//
+// An obs::Span marks a wall-clock interval on the current thread — a
+// dispatcher batch, a training phase — and records it into the process-wide
+// Tracer buffer when tracing is enabled. The buffer exports Chrome
+// trace-event-format JSON ("X" complete events with microsecond ts/dur),
+// loadable directly in chrome://tracing or https://ui.perfetto.dev, so a
+// serve run or a training iteration can be inspected visually: where queue
+// wait ends, how batches overlap session threads, how the rollout/replay/
+// step phases tile an iteration.
+//
+// Cost model mirrors src/obs/metrics.h: with tracing disabled a Span is one
+// relaxed atomic load and a branch at construction and destruction — no
+// clock reads, no allocation (tests/test_observability.cpp pins the buffer
+// stays empty). Enabled, each span is two clock reads plus one short
+// critical section appending a fixed-size event to a bounded buffer; past
+// the capacity events are dropped and counted, never reallocated without
+// bound. Span names must be string literals (or otherwise outlive the
+// Tracer) — events store the pointer, not a copy.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // tracing_enabled()
+#include "util/sync.h"
+
+namespace decima::obs {
+
+// One completed span, Chrome "X" event shape. `tid` is a small dense id
+// assigned per OS thread in first-span order (stable within a process run).
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  double ts_us = 0.0;   // since the tracer epoch (first instance() call)
+  double dur_us = 0.0;
+  int tid = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Appends one complete event; drops (and counts) past capacity. Called by
+  // ~Span; direct use is fine for pre-measured intervals.
+  void record_complete(const char* name, const char* cat,
+                       std::chrono::steady_clock::time_point begin,
+                       std::chrono::steady_clock::time_point end)
+      EXCLUDES(mu_);
+
+  std::size_t size() const EXCLUDES(mu_);
+  std::uint64_t dropped() const EXCLUDES(mu_);
+  void clear() EXCLUDES(mu_);
+  // Buffer bound (events). Shrinking drops the tail. Default 1<<18.
+  void set_capacity(std::size_t cap) EXCLUDES(mu_);
+
+  // The Chrome trace-event JSON document ({"traceEvents": [...]}). Loadable
+  // as-is in chrome://tracing; docs/observability.md walks through it.
+  std::string chrome_json() const EXCLUDES(mu_);
+  // chrome_json() to `path`; false on I/O error.
+  bool write_chrome_json(const std::string& path) const EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+  std::size_t capacity_ GUARDED_BY(mu_) = std::size_t{1} << 18;
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+// RAII span: construction starts the interval, destruction records it. The
+// enabled check happens once, at construction — a span open across a toggle
+// still records, a span opened while disabled never does.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "decima")
+      : name_(name), cat_(cat), armed_(tracing_enabled()) {
+    if (armed_) t0_ = std::chrono::steady_clock::now();
+  }
+  ~Span() {
+    if (armed_) {
+      Tracer::instance().record_complete(name_, cat_, t0_,
+                                         std::chrono::steady_clock::now());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  bool armed_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace decima::obs

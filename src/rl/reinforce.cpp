@@ -5,11 +5,45 @@
 #include <cmath>
 
 #include "io/checkpoint.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/baseline.h"
 
 namespace decima::rl {
 
 namespace {
+
+// Training-plane metric handles (docs/observability.md). Observation only:
+// clocks, counters, and gauges live entirely outside the RNG streams and
+// the gradient path, so training with the obs layer enabled is byte-
+// identical to disabled (tests/test_observability.cpp pins this at
+// rollout_threads 1 and 8 — the PR 8 phase-timer discipline).
+struct TrainMetrics {
+  obs::Counter& iterations;
+  obs::Counter& episodes;
+  obs::Gauge& rollout_utilization;
+  obs::Gauge& replay_utilization;
+  obs::Histogram& iteration_us;
+
+  static TrainMetrics& get() {
+    static TrainMetrics* m = new TrainMetrics{
+        obs::Registry::instance().counter(obs::names::kTrainIterations),
+        obs::Registry::instance().counter(obs::names::kTrainEpisodes),
+        obs::Registry::instance().gauge(obs::names::kTrainRolloutUtilization),
+        obs::Registry::instance().gauge(obs::names::kTrainReplayUtilization),
+        obs::Registry::instance().histogram(obs::names::kTrainIterationUs)};
+    return *m;
+  }
+};
+
+// Worker-pool busy fraction for one phase: busy CPU seconds over the
+// threads × wall-clock capacity, from the IterationStats accounting.
+double pool_utilization(double cpu_seconds, double wall_seconds,
+                        int threads) {
+  const double capacity = wall_seconds * static_cast<double>(threads);
+  return capacity > 0.0 ? cpu_seconds / capacity : 0.0;
+}
 
 // The TrainConfig fields that shape the training dynamics, written to (and
 // verified against) trainer checkpoints. num_iterations and rollout_threads
@@ -282,6 +316,7 @@ IterationStats ReinforceTrainer::iterate() {
   const auto seconds_since = [](Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
   };
+  obs::Span iteration_span(obs::names::kSpanTrainIteration, "train");
   const auto t_iter = Clock::now();
   const int n = config_.episodes_per_iter;
 
@@ -324,13 +359,16 @@ IterationStats ReinforceTrainer::iterate() {
   // are keyed by episode index.
   const auto t_rollout = Clock::now();
   std::vector<EpisodeData> episodes(static_cast<std::size_t>(n));
-  const double rollout_cpu_seconds =
-      run_on_workers(n, [&](int i, int w) {
-        const std::size_t ii = static_cast<std::size_t>(i);
-        episodes[ii] = rollout(*worker_agents_[static_cast<std::size_t>(w)],
-                               workload_seeds[ii], env_seeds[ii],
-                               sample_seeds[ii], tau);
-      });
+  double rollout_cpu_seconds = 0.0;
+  {
+    obs::Span rollout_span(obs::names::kSpanTrainRollout, "train");
+    rollout_cpu_seconds = run_on_workers(n, [&](int i, int w) {
+      const std::size_t ii = static_cast<std::size_t>(i);
+      episodes[ii] = rollout(*worker_agents_[static_cast<std::size_t>(w)],
+                             workload_seeds[ii], env_seeds[ii],
+                             sample_seeds[ii], tau);
+    });
+  }
   const double rollout_seconds = seconds_since(t_rollout);
 
   // (4) Returns, baselines, advantages.
@@ -391,25 +429,32 @@ IterationStats ReinforceTrainer::iterate() {
   // of which worker produced what.
   const auto t_replay = Clock::now();
   std::vector<std::vector<double>> episode_grads(static_cast<std::size_t>(n));
-  const double replay_cpu_seconds =
-      run_on_workers(n, [&](int i, int w) {
-        const std::size_t ii = static_cast<std::size_t>(i);
-        core::DecimaAgent& worker = *worker_agents_[static_cast<std::size_t>(w)];
-        replay(worker, episodes[ii], advantages[ii], tau);
-        episode_grads[ii] = worker.params().flat_grads();
-      });
+  double replay_cpu_seconds = 0.0;
+  {
+    obs::Span replay_span(obs::names::kSpanTrainReplay, "train");
+    replay_cpu_seconds = run_on_workers(n, [&](int i, int w) {
+      const std::size_t ii = static_cast<std::size_t>(i);
+      core::DecimaAgent& worker = *worker_agents_[static_cast<std::size_t>(w)];
+      replay(worker, episodes[ii], advantages[ii], tau);
+      episode_grads[ii] = worker.params().flat_grads();
+    });
+  }
   const double replay_seconds = seconds_since(t_replay);
 
   // (6) Reduce gradients (deterministic episode order), clip, Adam.
-  agent_.params().zero_grads();
-  for (int i = 0; i < n; ++i) {
-    agent_.params().add_flat_to_grads(
-        episode_grads[static_cast<std::size_t>(i)], 1.0 / n);
+  double grad_norm = 0.0;
+  {
+    obs::Span step_span(obs::names::kSpanTrainStep, "train");
+    agent_.params().zero_grads();
+    for (int i = 0; i < n; ++i) {
+      agent_.params().add_flat_to_grads(
+          episode_grads[static_cast<std::size_t>(i)], 1.0 / n);
+    }
+    agent_.params().clip_grad_norm(config_.grad_clip);
+    grad_norm = agent_.params().grad_norm();
+    adam_.step();
+    agent_.params().zero_grads();
   }
-  agent_.params().clip_grad_norm(config_.grad_clip);
-  const double grad_norm = agent_.params().grad_norm();
-  adam_.step();
-  agent_.params().zero_grads();
 
   entropy_weight_ =
       std::max(entropy_weight_ * config_.entropy_decay, config_.entropy_min);
@@ -430,6 +475,21 @@ IterationStats ReinforceTrainer::iterate() {
   stats.step_seconds = stats.total_seconds - rollout_seconds - replay_seconds;
   stats.rollout_cpu_seconds = rollout_cpu_seconds;
   stats.replay_cpu_seconds = replay_cpu_seconds;
+
+  // Training-plane observability (docs/observability.md): pure readouts of
+  // the stats computed above — nothing here feeds back into RNG streams or
+  // gradients, so enabling metrics leaves training byte-identical.
+  if (obs::metrics_enabled()) {
+    TrainMetrics& metrics = TrainMetrics::get();
+    const int threads = std::max(1, config_.rollout_threads);
+    metrics.iterations.inc();
+    metrics.episodes.inc(static_cast<std::uint64_t>(n));
+    metrics.rollout_utilization.set(
+        pool_utilization(rollout_cpu_seconds, rollout_seconds, threads));
+    metrics.replay_utilization.set(
+        pool_utilization(replay_cpu_seconds, replay_seconds, threads));
+    metrics.iteration_us.observe(stats.total_seconds * 1e6);
+  }
   return stats;
 }
 

@@ -5,9 +5,52 @@
 #include <utility>
 
 #include "io/checkpoint.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/heuristics.h"
 
 namespace decima::serve {
+
+namespace {
+
+// Serving-plane metric handles (docs/observability.md), registered once and
+// cached — recording is a relaxed-atomic op, and a no-op while the obs
+// layer is disabled. These fold the ServeStats degradation ladder into the
+// registry so live counters and the per-server stats() snapshot agree.
+struct ServeMetrics {
+  obs::Histogram& decide_latency_us;
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& batch_infer_us;
+  obs::Histogram& batch_size;
+  obs::Counter& ok;
+  obs::Counter& rejected;
+  obs::Counter& timed_out;
+  obs::Counter& stopped;
+  obs::Counter& fallbacks;
+  obs::Counter& snapshot_swaps;
+  obs::Counter& batches;
+
+  static ServeMetrics& get() {
+    static ServeMetrics* m = new ServeMetrics{
+        obs::Registry::instance().histogram(obs::names::kServeDecideLatencyUs),
+        obs::Registry::instance().histogram(obs::names::kServeQueueWaitUs),
+        obs::Registry::instance().histogram(obs::names::kServeBatchInferUs),
+        obs::Registry::instance().histogram(
+            obs::names::kServeBatchSize,
+            obs::Histogram::exponential_bounds(1.0, 1024.0, 11)),
+        obs::Registry::instance().counter(obs::names::kServeRequestsOk),
+        obs::Registry::instance().counter(obs::names::kServeRequestsRejected),
+        obs::Registry::instance().counter(obs::names::kServeRequestsTimedOut),
+        obs::Registry::instance().counter(obs::names::kServeRequestsStopped),
+        obs::Registry::instance().counter(obs::names::kServeFallbacks),
+        obs::Registry::instance().counter(obs::names::kServeSnapshotSwaps),
+        obs::Registry::instance().counter(obs::names::kServeBatches)};
+    return *m;
+  }
+};
+
+}  // namespace
 
 PolicyServer::PolicyServer(std::unique_ptr<const core::DecimaAgent> policy,
                            ServeConfig config)
@@ -52,14 +95,22 @@ DecideResult PolicyServer::degraded_answer(const sim::ClusterEnv& env,
 
 DecideResult PolicyServer::decide_with_status(const sim::ClusterEnv& env,
                                               gnn::EmbeddingCache* cache) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  // End-to-end latency as this session sees it, every outcome included.
+  obs::ScopedLatencyUs decide_latency(metrics.decide_latency_us);
   Request req;
   req.env = &env;
   req.cache = cache;
+  if (obs::metrics_enabled()) {
+    req.enqueue_tp = std::chrono::steady_clock::now();
+    req.enqueue_timed = true;
+  }
   bool rejected = false;
   {
     util::MutexLock lk(mu_);
     if (stopping_) {
       ++stats_.stopped_answers;
+      metrics.stopped.inc();
       return DecideResult{sim::Action::none(), DecideStatus::kStopped, false};
     }
     if (config_.max_queue > 0 &&
@@ -76,7 +127,11 @@ DecideResult PolicyServer::decide_with_status(const sim::ClusterEnv& env,
           stats_.max_queue_depth, static_cast<std::uint64_t>(queue_.size()));
     }
   }
-  if (rejected) return degraded_answer(env, DecideStatus::kRejected);
+  if (rejected) {
+    metrics.rejected.inc();
+    if (config_.heuristic_fallback) metrics.fallbacks.inc();
+    return degraded_answer(env, DecideStatus::kRejected);
+  }
 
   work_cv_.notify_one();
   const bool has_deadline = config_.deadline > 0.0;
@@ -115,7 +170,12 @@ DecideResult PolicyServer::decide_with_status(const sim::ClusterEnv& env,
                    deadline_tp - now));
     }
   }
-  if (timed_out) return degraded_answer(env, DecideStatus::kTimedOut);
+  if (timed_out) {
+    metrics.timed_out.inc();
+    if (config_.heuristic_fallback) metrics.fallbacks.inc();
+    return degraded_answer(env, DecideStatus::kTimedOut);
+  }
+  metrics.ok.inc();
   return DecideResult{req.action, DecideStatus::kOk, false};
 }
 
@@ -136,6 +196,7 @@ void PolicyServer::swap_policy(
     policy_ = std::move(policy);
     ++stats_.snapshot_swaps;
   }
+  ServeMetrics::get().snapshot_swaps.inc();
 }
 
 bool PolicyServer::swap_policy_from_checkpoint(const std::string& path) {
@@ -168,23 +229,44 @@ void PolicyServer::dispatch_loop() {
       policy = policy_;
     }
 
+    // Batch-assembly observability: how long each claimed request sat
+    // queued, and the coalesced batch shape. Reading the requests' enqueue
+    // stamps here is the same dispatcher-side ownership window as env/cache.
+    ServeMetrics& metrics = ServeMetrics::get();
+    if (obs::metrics_enabled()) {
+      const auto now = std::chrono::steady_clock::now();
+      for (const Request* r : batch) {
+        if (r->enqueue_timed) {
+          metrics.queue_wait_us.observe(
+              std::chrono::duration<double, std::micro>(now - r->enqueue_tp)
+                  .count());
+        }
+      }
+      metrics.batch_size.observe(static_cast<double>(batch.size()));
+      metrics.batches.inc();
+    }
+
     // Inference runs unlocked: the waiting session threads are blocked until
     // their request is marked done, so their envs cannot change under us.
     std::vector<sim::Action> actions;
-    if (config_.cross_session_batching) {
-      std::vector<const sim::ClusterEnv*> envs;
-      std::vector<gnn::EmbeddingCache*> caches;
-      envs.reserve(batch.size());
-      caches.reserve(batch.size());
-      for (const Request* r : batch) {
-        envs.push_back(r->env);
-        caches.push_back(r->cache);
-      }
-      actions = policy->decide_batch(envs, caches);
-    } else {
-      actions.reserve(batch.size());
-      for (const Request* r : batch) {
-        actions.push_back(policy->decide(*r->env, r->cache));
+    {
+      obs::Span batch_span(obs::names::kSpanServeBatch, "serve");
+      obs::ScopedLatencyUs infer_latency(metrics.batch_infer_us);
+      if (config_.cross_session_batching) {
+        std::vector<const sim::ClusterEnv*> envs;
+        std::vector<gnn::EmbeddingCache*> caches;
+        envs.reserve(batch.size());
+        caches.reserve(batch.size());
+        for (const Request* r : batch) {
+          envs.push_back(r->env);
+          caches.push_back(r->cache);
+        }
+        actions = policy->decide_batch(envs, caches);
+      } else {
+        actions.reserve(batch.size());
+        for (const Request* r : batch) {
+          actions.push_back(policy->decide(*r->env, r->cache));
+        }
       }
     }
 
@@ -233,6 +315,7 @@ SessionResult run_session(PolicyServer& server, const sim::EnvConfig& env,
   result.completed = static_cast<int>(cluster.jcts().size());
   result.decisions = sched.decisions();
   result.degradation = sched.degradation();
+  result.cache = sched.embed_cache_stats();
   return result;
 }
 

@@ -31,6 +31,7 @@
 // the struct.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -172,6 +173,11 @@ class PolicyServer {
   struct Request {
     const sim::ClusterEnv* env = nullptr;
     gnn::EmbeddingCache* cache = nullptr;  // session-owned, may be null
+    // Queue-wait observability (docs/observability.md): stamped at enqueue
+    // when metrics were enabled; the dispatcher reads it after claiming the
+    // request, under the same handoff ownership as env/cache above.
+    std::chrono::steady_clock::time_point enqueue_tp{};
+    bool enqueue_timed = false;
     sim::Action action;
     bool done = false;
   };
@@ -251,6 +257,10 @@ struct SessionResult {
   int completed = 0;
   std::size_t decisions = 0;  // scheduling queries the session issued
   SessionDegradation degradation;  // how each of those queries resolved
+  // The session's embedding-cache accounting (hits/misses/dirty rows —
+  // EmbeddingCache::hits()/misses()/dirty_rows()); all zeros when the
+  // policy snapshot was exported with embed_cache off.
+  gnn::EmbeddingCacheStats cache;
 };
 SessionResult run_session(PolicyServer& server, const sim::EnvConfig& env,
                           const std::vector<workload::ArrivingJob>& jobs,

@@ -1,0 +1,434 @@
+// The runtime observability layer (docs/observability.md):
+//
+//   * fixed-bucket histogram semantics — bucketing, counts/sums, and
+//     interpolated p50/p95/p99 against known sample sets, including the
+//     overflow-bucket floor;
+//   * the registry contract — stable shared handles, reset-in-place,
+//     name enumeration;
+//   * lock-free recording — concurrent counter/histogram traffic from many
+//     threads lands exactly (this suite runs in the TSan CI job, so the
+//     same cases are the race proof);
+//   * the global-off contract — with the layer disabled every recording
+//     call is inert: counters/gauges/histograms stay zero and the trace
+//     buffer stays empty (no events, no allocation);
+//   * export formats — the Chrome trace JSON and the metrics dump parse
+//     with Python's json module (the same parser chrome://tracing uses is
+//     stricter than none at all);
+//   * the observation-only contract — training with metrics+tracing
+//     enabled is byte-identical to disabled at rollout_threads 1 and 8
+//     (same discipline as tests/test_parallel_rollout.cpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rl/reinforce.h"
+
+namespace decima {
+namespace {
+
+// Every test starts and ends with the layer off and the global buffers
+// clean, so suites cannot leak state into each other.
+class Observability : public testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(false);
+    obs::Registry::instance().reset();
+    obs::Tracer::instance().clear();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::Registry::instance().reset();
+    obs::Tracer::instance().clear();
+  }
+};
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+bool python3_available() {
+  return std::system("python3 --version > /dev/null 2>&1") == 0;
+}
+
+// `python3 -c "import json,sys; json.load(open(sys.argv[1]))" <path>` — the
+// round-trip the ISSUE pins: the artifact must be real JSON, not just
+// JSON-shaped.
+bool json_loads(const std::string& path) {
+  const std::string cmd =
+      "python3 -c \"import json,sys; json.load(open(sys.argv[1]))\" '" +
+      path + "' > /dev/null 2>&1";
+  return std::system(cmd.c_str()) == 0;
+}
+
+// --- Histogram semantics ----------------------------------------------------
+
+TEST_F(Observability, HistogramBucketsSamplesByUpperBound) {
+  obs::set_metrics_enabled(true);
+  obs::Histogram h("test.buckets", {1.0, 2.0, 4.0, 8.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 8.0, 100.0}) h.observe(v);
+
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 3.0 + 8.0 + 100.0);
+  // A sample lands in the first bucket whose bound >= sample; the 5th
+  // entry is the overflow bucket.
+  const std::vector<std::uint64_t> want = {2, 1, 1, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), want);
+}
+
+TEST_F(Observability, HistogramPercentilesInterpolateWithinBuckets) {
+  obs::set_metrics_enabled(true);
+  // 100 one-unit buckets, samples 1..100: every bucket holds exactly one
+  // sample, so interpolated percentiles are exact.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  obs::Histogram h("test.pct", bounds);
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+
+  EXPECT_NEAR(h.percentile(50.0), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(95.0), 95.0, 1.0);
+  EXPECT_NEAR(h.percentile(99.0), 99.0, 1.0);
+  EXPECT_NEAR(h.percentile(100.0), 100.0, 1.0);
+  EXPECT_LE(h.percentile(1.0), 2.0);
+}
+
+TEST_F(Observability, HistogramEmptyAndOverflowEdges) {
+  obs::set_metrics_enabled(true);
+  obs::Histogram h("test.edges", {1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);  // empty: 0, not NaN
+
+  // Everything past the last bound: the overflow bucket reports the last
+  // bound — a floor, never an invented value.
+  for (int i = 0; i < 8; ++i) h.observe(1e6);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 10.0);
+  EXPECT_EQ(h.count(), 8u);
+}
+
+TEST_F(Observability, ExponentialBoundsSpanTheRequestedRange) {
+  const std::vector<double> b =
+      obs::Histogram::exponential_bounds(1.0, 1e6, 30);
+  ASSERT_EQ(b.size(), 30u);
+  EXPECT_DOUBLE_EQ(b.front(), 1.0);
+  EXPECT_NEAR(b.back(), 1e6, 1e6 * 1e-9);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]);
+  // The default ladder is this shape over 1µs–10s.
+  const std::vector<double> d = obs::Histogram::default_latency_bounds_us();
+  EXPECT_EQ(d.size(), 60u);
+  EXPECT_DOUBLE_EQ(d.front(), 1.0);
+}
+
+// --- Registry contract ------------------------------------------------------
+
+TEST_F(Observability, RegistryReturnsStableSharedHandles) {
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& a = reg.counter("test.reg_counter");
+  obs::Counter& b = reg.counter("test.reg_counter");
+  EXPECT_EQ(&a, &b);
+  obs::Gauge& g1 = reg.gauge("test.reg_gauge");
+  obs::Gauge& g2 = reg.gauge("test.reg_gauge");
+  EXPECT_EQ(&g1, &g2);
+  // Bounds are fixed at first registration; later callers share the layout.
+  obs::Histogram& h1 = reg.histogram("test.reg_hist", {1.0, 2.0});
+  obs::Histogram& h2 = reg.histogram("test.reg_hist", {5.0, 6.0, 7.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+
+  const std::vector<std::string> names = reg.metric_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.reg_counter"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.reg_hist"),
+            names.end());
+}
+
+TEST_F(Observability, ResetZeroesValuesButKeepsRegistrations) {
+  obs::set_metrics_enabled(true);
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& c = reg.counter("test.reset_counter");
+  obs::Histogram& h = reg.histogram("test.reset_hist", {1.0});
+  c.inc(5);
+  h.observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  // The handle survives reset — same address, still registered.
+  EXPECT_EQ(&reg.counter("test.reset_counter"), &c);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// --- Lock-free recording under contention (TSan proof) ----------------------
+
+TEST_F(Observability, ConcurrentCountersAndHistogramsLandExactly) {
+  obs::set_metrics_enabled(true);
+  obs::Registry& reg = obs::Registry::instance();
+  // Handles are resolved concurrently too: registration is part of the
+  // thread-safety surface, not just recording.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      obs::Counter& c = reg.counter("test.conc_counter");
+      obs::Counter& c3 = reg.counter("test.conc_counter3");
+      obs::Histogram& h = reg.histogram("test.conc_hist", {1.0, 2.0});
+      obs::Gauge& g = reg.gauge("test.conc_gauge");
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        c3.inc(3);
+        h.observe(1.0);  // integral values: the CAS double sum is exact
+        g.set(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto total = static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(reg.counter("test.conc_counter").value(), total);
+  EXPECT_EQ(reg.counter("test.conc_counter3").value(), 3 * total);
+  EXPECT_EQ(reg.histogram("test.conc_hist").count(), total);
+  EXPECT_DOUBLE_EQ(reg.histogram("test.conc_hist").sum(),
+                   static_cast<double>(total));
+  EXPECT_DOUBLE_EQ(reg.gauge("test.conc_gauge").value(), 1.0);
+}
+
+TEST_F(Observability, ConcurrentSpansAllRecord) {
+  obs::set_tracing_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        obs::Span span("test.conc_span", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(obs::Tracer::instance().size(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+  EXPECT_EQ(obs::Tracer::instance().dropped(), 0u);
+}
+
+// --- The global-off contract ------------------------------------------------
+
+TEST_F(Observability, DisabledLayerIsCompletelyInert) {
+  ASSERT_FALSE(obs::metrics_enabled());
+  ASSERT_FALSE(obs::tracing_enabled());
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& c = reg.counter("test.off_counter");
+  obs::Gauge& g = reg.gauge("test.off_gauge");
+  obs::Histogram& h = reg.histogram("test.off_hist", {1.0});
+
+  c.inc(100);
+  g.set(42.0);
+  h.observe(0.5);
+  { obs::ScopedLatencyUs lat(h); }
+  { obs::Span span("test.off_span", "test"); }
+
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  // The trace buffer never saw the span — no event, hence no allocation.
+  EXPECT_EQ(obs::Tracer::instance().size(), 0u);
+  EXPECT_EQ(obs::Tracer::instance().dropped(), 0u);
+}
+
+TEST_F(Observability, SpanArmsAtConstructionNotDestruction) {
+  // A span opened while disabled never records, even if tracing flips on
+  // before it closes (the check is once, at construction).
+  {
+    obs::Span span("test.late_enable", "test");
+    obs::set_tracing_enabled(true);
+  }
+  EXPECT_EQ(obs::Tracer::instance().size(), 0u);
+  // And the reverse: opened enabled, closed after disable — still records.
+  {
+    obs::Span span("test.early_disable", "test");
+    obs::set_tracing_enabled(false);
+  }
+  EXPECT_EQ(obs::Tracer::instance().size(), 1u);
+}
+
+TEST_F(Observability, TracerBoundsItsBufferAndCountsDrops) {
+  obs::set_tracing_enabled(true);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_capacity(16);
+  for (int i = 0; i < 40; ++i) {
+    obs::Span span("test.drop", "test");
+  }
+  EXPECT_EQ(tracer.size(), 16u);
+  EXPECT_EQ(tracer.dropped(), 24u);
+  tracer.set_capacity(std::size_t{1} << 18);  // restore the default
+}
+
+// --- Export formats ---------------------------------------------------------
+
+TEST_F(Observability, ScopedLatencyRecordsMicroseconds) {
+  obs::set_metrics_enabled(true);
+  obs::Histogram h("test.scoped_lat", obs::Histogram::exponential_bounds(
+                                          1.0, 1e6, 20));
+  { obs::ScopedLatencyUs lat(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  EXPECT_LT(h.sum(), 1e6);  // an empty scope is far under a second
+}
+
+TEST_F(Observability, TraceJsonRoundTripsThroughPython) {
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span outer(obs::names::kSpanTrainIteration, "train");
+    obs::Span inner(obs::names::kSpanTrainRollout, "train");
+    // Names with JSON-hostile characters must be escaped on export.
+    obs::Span hostile("quote\"back\\slash\nnewline", "test");
+  }
+  ASSERT_EQ(obs::Tracer::instance().size(), 3u);
+
+  const std::string json = obs::Tracer::instance().chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find(obs::names::kSpanTrainRollout), std::string::npos);
+
+  const std::string path = tmp_path("obs_trace_roundtrip.json");
+  ASSERT_TRUE(obs::Tracer::instance().write_chrome_json(path));
+  if (!python3_available()) GTEST_SKIP() << "python3 not on PATH";
+  EXPECT_TRUE(json_loads(path)) << "chrome trace JSON failed json.loads";
+}
+
+TEST_F(Observability, MetricsDumpsRoundTripThroughPython) {
+  obs::set_metrics_enabled(true);
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("test.dump_counter").inc(7);
+  reg.gauge("test.dump_gauge").set(0.5);
+  reg.histogram("test.dump_hist", {1.0, 2.0}).observe(1.5);
+
+  const std::string text = reg.text_dump();
+  EXPECT_NE(text.find("test.dump_counter"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+
+  const std::string path = tmp_path("obs_metrics_roundtrip.json");
+  ASSERT_TRUE(reg.write_json(path));
+  const std::string json = reg.json_dump();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  if (!python3_available()) GTEST_SKIP() << "python3 not on PATH";
+  EXPECT_TRUE(json_loads(path)) << "metrics JSON failed json.loads";
+}
+
+// --- The observation-only contract (training byte-identity) -----------------
+
+sim::EnvConfig tiny_env() {
+  sim::EnvConfig c;
+  c.num_executors = 3;
+  c.enable_moving_delay = false;
+  c.enable_wave_effect = false;
+  c.enable_inflation = false;
+  return c;
+}
+
+rl::WorkloadSampler dag_sampler() {
+  return [](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<sim::JobSpec> jobs;
+    for (int i = 0; i < 3; ++i) {
+      sim::JobBuilder b("job" + std::to_string(i));
+      const int stages = rng.uniform_int(2, 4);
+      for (int s = 0; s < stages; ++s) {
+        b.stage(rng.uniform_int(1, 5), rng.uniform(0.5, 2.0),
+                s > 0 ? std::vector<int>{s - 1} : std::vector<int>{});
+      }
+      jobs.push_back(b.build());
+    }
+    return workload::batched(std::move(jobs));
+  };
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+struct RunResult {
+  std::vector<std::vector<double>> params;
+  std::string checkpoint;
+  std::vector<rl::IterationStats> curve;
+};
+
+bool dynamics_equal(const rl::IterationStats& a, const rl::IterationStats& b) {
+  return a.iteration == b.iteration && a.tau == b.tau &&
+         a.mean_total_reward == b.mean_total_reward &&
+         a.mean_avg_jct == b.mean_avg_jct &&
+         a.total_actions == b.total_actions && a.grad_norm == b.grad_norm &&
+         a.entropy_weight == b.entropy_weight;
+}
+
+RunResult run_training(int threads, bool obs_on, const std::string& tag) {
+  obs::set_enabled(obs_on);
+  core::AgentConfig ac;
+  ac.seed = 7;
+  rl::TrainConfig cfg;
+  cfg.num_iterations = 2;
+  cfg.episodes_per_iter = 4;
+  cfg.rollout_threads = threads;
+  cfg.curriculum = false;
+  cfg.differential_reward = false;
+  cfg.entropy_weight = 0.05;
+  cfg.env = tiny_env();
+  cfg.sampler = dag_sampler();
+  cfg.seed = 31;
+  core::DecimaAgent agent(ac);
+  rl::ReinforceTrainer trainer(agent, cfg);
+  RunResult r;
+  r.curve = trainer.train();
+  for (const nn::Param* p : agent.params().params()) {
+    r.params.push_back(p->value.raw());
+  }
+  const std::string path = tmp_path("obs_identity_" + tag + ".ckpt");
+  EXPECT_TRUE(trainer.save_checkpoint(path));
+  r.checkpoint = file_bytes(path);
+  EXPECT_FALSE(r.checkpoint.empty());
+  obs::set_enabled(false);
+  return r;
+}
+
+TEST_F(Observability, TrainingIsByteIdenticalWithObsEnabled) {
+  for (int threads : {1, 8}) {
+    SCOPED_TRACE("rollout_threads=" + std::to_string(threads));
+    const std::string tag = "t" + std::to_string(threads);
+    const RunResult off = run_training(threads, /*obs_on=*/false, tag + "_off");
+    const RunResult on = run_training(threads, /*obs_on=*/true, tag + "_on");
+
+    EXPECT_EQ(on.params, off.params);
+    EXPECT_EQ(on.checkpoint, off.checkpoint);
+    ASSERT_EQ(on.curve.size(), off.curve.size());
+    for (std::size_t i = 0; i < off.curve.size(); ++i) {
+      EXPECT_TRUE(dynamics_equal(on.curve[i], off.curve[i]))
+          << "iteration " << i << " dynamics drifted with obs enabled";
+    }
+    // And the instrumented run actually observed something — the contract
+    // is "recorded without perturbing", not "did nothing".
+    EXPECT_EQ(obs::Registry::instance()
+                  .counter(obs::names::kTrainIterations)
+                  .value(),
+              2u);
+    EXPECT_GT(obs::Tracer::instance().size(), 0u);
+    obs::Registry::instance().reset();
+    obs::Tracer::instance().clear();
+  }
+}
+
+}  // namespace
+}  // namespace decima
