@@ -67,12 +67,18 @@ class TimedServedScheduler : public sim::Scheduler {
   std::vector<double>& samples_us_;
 };
 
-RunResult run_sessions(const std::string& ckpt, bool batching, int sessions,
-                       const sim::EnvConfig& env,
+RunResult run_sessions(const std::string& ckpt, bool batching, int wait_us,
+                       int sessions, const sim::EnvConfig& env,
                        const std::vector<std::vector<workload::ArrivingJob>>&
                            session_workloads) {
   serve::ServeConfig cfg;
   cfg.cross_session_batching = batching;
+  // Adaptive bounded-wait batching (docs/serving.md): the batched rows run
+  // with it on, so shallow-session rows coalesce full batches instead of
+  // losing to the sequential reference on dispatch overhead. The sequential
+  // reference itself always runs with 0 (waiting cannot help one-at-a-time
+  // scoring).
+  cfg.batch_wait_us = batching ? wait_us : 0;
   auto server = serve::PolicyServer::from_checkpoint(ckpt, cfg);
   if (!server) {
     std::cerr << "failed to load " << ckpt << "\n";
@@ -132,6 +138,10 @@ int main() {
   // both modes; only wall-clock differs.
   const int dag_jobs = env_int("DECIMA_SERVE_JOBS", 3);
   const int dag_nodes = env_int("DECIMA_SERVE_NODES", 30);
+  // Bounded wait for the batched rows: long enough to catch the other
+  // sessions' next queries (inter-query gaps are tens of µs of simulator
+  // event processing), short against the ~ms inference itself.
+  const int wait_us = env_int("DECIMA_SERVE_WAIT_US", 200);
   sim::EnvConfig env;
   env.num_executors = 10;
 
@@ -173,8 +183,10 @@ int main() {
   json.set("dag_jobs_per_session", static_cast<double>(dag_jobs));
   json.set("dag_nodes", static_cast<double>(dag_nodes));
 
+  json.set("batch_wait_us", static_cast<double>(wait_us));
+
   // Warm-up run (allocator + cache state), not measured.
-  run_sessions(ckpt, /*batching=*/true, 2, env, session_workloads);
+  run_sessions(ckpt, /*batching=*/true, wait_us, 2, env, session_workloads);
 
   Table t({"sessions", "sequential [dec/s]", "batched [dec/s]", "speedup",
            "+embed cache [dec/s]", "cache speedup", "mean batch",
@@ -183,12 +195,13 @@ int main() {
   double cache_speedup_at_max = 0.0;
   double cache_hit_rate_at_max = 0.0;
   for (int sessions : session_counts) {
-    const RunResult seq =
-        run_sessions(ckpt, /*batching=*/false, sessions, env, session_workloads);
-    const RunResult bat =
-        run_sessions(ckpt, /*batching=*/true, sessions, env, session_workloads);
+    const RunResult seq = run_sessions(ckpt, /*batching=*/false, wait_us,
+                                       sessions, env, session_workloads);
+    const RunResult bat = run_sessions(ckpt, /*batching=*/true, wait_us,
+                                       sessions, env, session_workloads);
     const RunResult cached = run_sessions(cached_ckpt, /*batching=*/true,
-                                          sessions, env, session_workloads);
+                                          wait_us, sessions, env,
+                                          session_workloads);
     const double speedup =
         bat.decisions_per_sec() / std::max(seq.decisions_per_sec(), 1e-12);
     const double cache_speedup =

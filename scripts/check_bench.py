@@ -62,7 +62,21 @@ BENCH_REGISTRY = {
         "overload_bounded_queue": 1.0,
         "overload_fallback_nonzero": 1.0,
     },
-    "BENCH_serve.json": {},
+    "BENCH_serve.json": {
+        # Adaptive bounded-wait batching (docs/serving.md): with
+        # ServeConfig::batch_wait_us on, the batched path must not lose to
+        # the sequential reference at shallow session counts anymore —
+        # batching is >= break-even at every row of the sweep.
+        "sessions2_speedup": 1.0,
+        "sessions4_speedup": 1.0,
+    },
+    "BENCH_serve_sharded.json": {
+        # Sharded serving plane (docs/serving.md): 4 dispatcher shards over
+        # the single-dispatcher reference on the 32-session workload. Like
+        # rollout_t8_speedup this floor is meaningful on the multi-core CI
+        # runners; local 1-core boxes legitimately report ~1.0x.
+        "shards4_vs_shards1_speedup": 2.5,
+    },
     "BENCH_train.json": {
         # Parallel rollout scaling (fig15 section (d)): 8 workers must at
         # least halve rollout wall-clock vs the sequential reference on the

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-invariant lint: the rules the compilers cannot check.
 
-Six standing invariants, enforced at zero findings by the CI
+Seven standing invariants, enforced at zero findings by the CI
 ``static-analysis`` job (and by ``ctest -R check_invariants`` locally):
 
 1. **sync-primitives** — no raw ``std::mutex`` / ``std::condition_variable``
@@ -20,17 +20,23 @@ Six standing invariants, enforced at zero findings by the CI
    (``bench::BenchJson``) is registered in ``scripts/check_bench.py``'s
    ``BENCH_REGISTRY`` floor table, and vice versa, so no perf emitter can
    bypass the CI ratio gate.
-5. **thread-knob-pinning** — every ``*_threads`` config knob declared in a
-   ``src/**`` header (e.g. ``TrainConfig::rollout_threads``) is registered
-   in ``FLAG_PINNED`` with an equivalence test that pins thread-count
-   invariance: parallelism knobs must change wall-clock only, never
-   results (docs/training.md, "Parallel rollout & the determinism
-   contract").
+5. **thread-knob-pinning** — every parallelism config knob declared in a
+   ``src/**`` header (``*_threads``, e.g. ``TrainConfig::rollout_threads``,
+   and ``ServeConfig::shards``) is registered in ``FLAG_PINNED`` with an
+   equivalence test that pins parallelism invariance: such knobs must
+   change wall-clock only, never results (docs/training.md, "Parallel
+   rollout & the determinism contract"; docs/serving.md, shards=1
+   bit-identity).
 6. **obs-docs-inventory** — every metric/span name constant in
    ``src/obs/metric_names.h`` appears (backticked) in the inventory of
    ``docs/observability.md``, and every ``serve.`` / ``train.`` / ``cache.``
    name the doc lists still has its constant. The observable surface and its
    documentation may never drift apart.
+7. **spsc-ring-containment** — the lock-free ``util::SpscRing`` stays
+   confined to its annotated header and the reviewed serving-plane files
+   that uphold its single-producer/single-consumer contract
+   (docs/serving.md, docs/concurrency.md). Any new use site must be
+   reviewed and added to ``RING_ALLOWED_FILES`` here.
 
 Exits 0 with a one-line summary when clean; prints every finding as
 ``file:line: [rule] message`` and exits 1 otherwise.
@@ -74,13 +80,17 @@ IRREGULAR_SIBLINGS = {
 
 # Entry points pinned through a config flag rather than by name: the named
 # test file must exist and contain the token (the flag that flips the fast
-# path against its reference). Rule 5 routes ``*_threads`` config knobs
-# through the same table — their "reference path" is the knob's sequential
-# setting, and the registered test pins bit-identity across thread counts.
+# path against its reference). Rule 5 routes parallelism config knobs
+# (``*_threads`` and ``ServeConfig::shards``) through the same table —
+# their "reference path" is the knob's sequential setting, and the
+# registered test pins bit-identity across its values.
 FLAG_PINNED = {
     "embed_nodes_batched": ("test_batched_equivalence.cpp", "GnnConfig::batched"),
     "score_replay_batch": ("test_batched_equivalence.cpp", "batched_replay"),
     "rollout_threads": ("test_parallel_rollout.cpp", "rollout_threads"),
+    # shards=1 must stay bit-identical to the pre-shard single dispatcher;
+    # the pin compares full concurrent-session results at shards 1 vs 4.
+    "shards": ("test_serve.cpp", "Shards4MatchesShards1"),
 }
 
 # Suffix matches that are not fast paths at all (documented here, not
@@ -110,7 +120,23 @@ OBS_NAME_RE = re.compile(
     r'inline\s+constexpr\s+char\s+k\w+\[\]\s*=\s*"([^"]+)"')
 # A backticked `plane.name` token in the doc; restricted to the known plane
 # prefixes so prose mentions of other dotted identifiers don't count.
-OBS_DOC_NAME_RE = re.compile(r"`((?:serve|train|cache)\.[a-z0-9_]+)`")
+# Multi-segment names (e.g. `serve.shard.decisions`) are one token.
+OBS_DOC_NAME_RE = re.compile(
+    r"`((?:serve|train|cache)\.[a-z0-9_]+(?:\.[a-z0-9_]+)*)`")
+
+# --- rule 7: SpscRing stays behind its reviewed use sites ---------------------
+
+# The SPSC ring is safe only under the exact producer/consumer roles the
+# serving plane establishes (producers serialized by the shard mutex, the
+# shard's dispatcher as sole consumer). Using it anywhere else needs review:
+# add the file here after checking the roles, or the lint fails.
+RING_TOKEN = "SpscRing"
+RING_ALLOWED_FILES = {
+    Path("src/util/ring.h"),
+    Path("src/serve/policy_server.h"),
+    Path("src/serve/policy_server.cpp"),
+    Path("tests/test_util.cpp"),
+}
 
 # ----------------------------------------------------------------------------
 
@@ -295,12 +321,13 @@ def findings_bench_registry():
 
 
 def findings_thread_knob_pinning():
-    """Rule 5: every ``int <name>_threads = ...`` config knob in a src/**
-    header must be registered in FLAG_PINNED, and its registered test file
-    must exist and mention the knob. Parallelism knobs may only change
-    wall-clock; the registered test is what pins that."""
+    """Rule 5: every parallelism config knob in a src/** header —
+    ``int <name>_threads = ...`` or ``int shards = ...`` — must be
+    registered in FLAG_PINNED, and its registered test file must exist and
+    mention the knob. Parallelism knobs may only change wall-clock; the
+    registered test is what pins that."""
     found = []
-    knob_re = re.compile(r"\bint\s+(\w*_threads)\s*=")
+    knob_re = re.compile(r"\bint\s+(\w*_threads|shards)\s*=")
     tests_dir = REPO / "tests"
     for path in sorted((REPO / "src").rglob("*.h")):
         rel = path.relative_to(REPO)
@@ -311,7 +338,7 @@ def findings_thread_knob_pinning():
             if knob not in FLAG_PINNED:
                 found.append(
                     (rel, lineno, "thread-knob-pinning",
-                     f"thread-count knob '{knob}' has no FLAG_PINNED entry in "
+                     f"parallelism knob '{knob}' has no FLAG_PINNED entry in "
                      f"scripts/check_invariants.py — register the equivalence "
                      f"test that pins results bit-identical across its values"))
                 continue
@@ -361,6 +388,35 @@ def findings_obs_docs_inventory():
     return found
 
 
+def findings_spsc_ring_containment():
+    """Rule 7: the ``SpscRing`` token appears only in RING_ALLOWED_FILES.
+    The ring's safety rests on use-site discipline (who is the single
+    producer, who the single consumer) that no annotation can check — so
+    every use site is enumerated and reviewed here."""
+    found = []
+    for path in cxx_files():
+        rel = path.relative_to(REPO)
+        if rel in RING_ALLOWED_FILES:
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if RING_TOKEN in line:
+                found.append(
+                    (rel, lineno, "spsc-ring-containment",
+                     f"util::{RING_TOKEN} used outside its reviewed files — "
+                     f"the SPSC contract (producers serialized by a shard "
+                     f"mutex, one consumer) must be re-reviewed; add this "
+                     f"file to RING_ALLOWED_FILES in "
+                     f"scripts/check_invariants.py after doing so"))
+    for rel in sorted(RING_ALLOWED_FILES):
+        if not (REPO / rel).is_file():
+            found.append(
+                (rel, 1, "spsc-ring-containment",
+                 f"RING_ALLOWED_FILES lists {rel} but it does not exist — "
+                 f"stale entry"))
+    return found
+
+
 def main() -> int:
     rules = [
         findings_sync_primitives,
@@ -369,6 +425,7 @@ def main() -> int:
         findings_bench_registry,
         findings_thread_knob_pinning,
         findings_obs_docs_inventory,
+        findings_spsc_ring_containment,
     ]
     findings = []
     for rule in rules:

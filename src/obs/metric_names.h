@@ -38,6 +38,21 @@ inline constexpr char kServeBatches[] = "serve.batches";
 // Span: one dispatcher batch (claim → inference → hand back answers).
 inline constexpr char kSpanServeBatch[] = "serve.dispatch_batch";
 
+// --- Sharded serving plane (docs/serving.md) --------------------------------
+// Per-shard load instruments: one instance per dispatcher shard, registered
+// at PolicyServer construction as "<name>.<shard-index>" (e.g.
+// serve.shard.decisions.0). Shard imbalance shows up as skew across the
+// indexed instances of one name.
+// Requests answered by this shard's dispatcher.
+inline constexpr char kServeShardDecisions[] = "serve.shard.decisions";
+// Ring depth observed at each dispatch (gauge; the per-shard load signal).
+inline constexpr char kServeShardQueueDepth[] = "serve.shard.queue_depth";
+// Requests coalesced per dispatch on this shard.
+inline constexpr char kServeShardBatchSize[] = "serve.shard.batch_size";
+// Time the adaptive bounded wait actually held a shallow batch open
+// (ServeConfig::batch_wait_us; 0 observations while the knob is off).
+inline constexpr char kServeShardBatchWaitUs[] = "serve.shard.batch_wait_us";
+
 // --- Training plane (src/rl/reinforce.cpp) ----------------------------------
 inline constexpr char kTrainIterations[] = "train.iterations";
 inline constexpr char kTrainEpisodes[] = "train.episodes";

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "io/checkpoint.h"
@@ -50,12 +54,83 @@ struct ServeMetrics {
   }
 };
 
+// Per-shard instrument instances are the shard-suffixed serve.shard.* names
+// (docs/observability.md): one registry entry per (name, shard index).
+std::string shard_metric(const char* prefix, int shard) {
+  return std::string(prefix) + "." + std::to_string(shard);
+}
+
+// Ring sizing: an explicit override wins; otherwise cover the per-shard
+// admission bound (max_queue) with 2x headroom for abandoned-but-unpopped
+// entries, and stay generously deep for unbounded configs. SpscRing rounds
+// up to a power of two.
+std::size_t ring_capacity_for(const ServeConfig& config) {
+  if (config.ring_capacity > 0) {
+    return static_cast<std::size_t>(config.ring_capacity);
+  }
+  std::size_t cap = 1024;
+  if (config.max_queue > 0) {
+    cap = std::max(cap, static_cast<std::size_t>(config.max_queue) * 2);
+  }
+  return cap;
+}
+
 }  // namespace
+
+void ServeConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("ServeConfig: " + what);
+  };
+  if (shards < 1) fail("shards must be >= 1 (0 shards would serve nothing)");
+  if (shards > 1024) fail("shards > 1024: more dispatchers than plausible");
+  if (max_batch < 0) fail("max_batch must be >= 0 (0 = drain the ring)");
+  if (max_queue < 0) fail("max_queue must be >= 0 (0 = unbounded)");
+  if (batch_wait_us < 0) {
+    fail("batch_wait_us must be >= 0 (0 = immediate dispatch)");
+  }
+  if (ring_capacity < 0) fail("ring_capacity must be >= 0 (0 = automatic)");
+  if (!(deadline >= 0.0) || !std::isfinite(deadline)) {
+    fail("deadline must be a finite number of seconds >= 0");
+  }
+  if (max_queue > 0 && max_batch > max_queue) {
+    fail("max_batch exceeds max_queue: a full batch could never assemble "
+         "behind the per-shard admission bound");
+  }
+  if (ring_capacity > 0 && max_queue > ring_capacity) {
+    fail("ring_capacity below max_queue: admitted requests would not fit");
+  }
+}
 
 PolicyServer::PolicyServer(std::unique_ptr<const core::DecimaAgent> policy,
                            ServeConfig config)
     : config_(config), policy_(std::move(policy)) {
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  config_.validate();
+  if (!policy_) {
+    throw std::invalid_argument("PolicyServer: null policy snapshot");
+  }
+  const std::size_t ring_cap = ring_capacity_for(config_);
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    auto sh = std::make_unique<Shard>(ring_cap);
+    obs::Registry& reg = obs::Registry::instance();
+    sh->m_decisions =
+        &reg.counter(shard_metric(obs::names::kServeShardDecisions, i));
+    sh->m_queue_depth =
+        &reg.gauge(shard_metric(obs::names::kServeShardQueueDepth, i));
+    sh->m_batch_size =
+        &reg.histogram(shard_metric(obs::names::kServeShardBatchSize, i),
+                       obs::Histogram::exponential_bounds(1.0, 1024.0, 11));
+    sh->m_batch_wait_us =
+        &reg.histogram(shard_metric(obs::names::kServeShardBatchWaitUs, i));
+    shards_.push_back(std::move(sh));
+  }
+  // Start dispatchers only after every shard exists: a dispatcher never
+  // touches a sibling shard, but constructing under way would still race
+  // the shards_ vector itself.
+  for (auto& sh : shards_) {
+    Shard* p = sh.get();
+    p->dispatcher = std::thread([this, p] { dispatch_loop(*p); });
+  }
 }
 
 std::unique_ptr<PolicyServer> PolicyServer::from_checkpoint(
@@ -69,14 +144,77 @@ std::unique_ptr<PolicyServer> PolicyServer::from_checkpoint(
 PolicyServer::~PolicyServer() { stop(); }
 
 void PolicyServer::stop() {
+  for (auto& sh : shards_) {
+    {
+      util::MutexLock lk(sh->mu);
+      sh->stopping = true;
+    }
+    sh->work_cv.notify_all();
+    // Sessions blocked on ring space must recheck stopping and wind down.
+    sh->done_cv.notify_all();
+  }
+  // call_once also blocks late callers until the winning join completes, so
+  // every stop() returns only after the last dispatcher is gone.
+  std::call_once(join_once_, [this] {
+    for (auto& sh : shards_) sh->dispatcher.join();
+  });
+}
+
+Session PolicyServer::open_session() {
+  std::uint64_t id = 0;
   {
     util::MutexLock lk(mu_);
-    stopping_ = true;
+    id = next_session_id_++;
   }
-  work_cv_.notify_all();
-  // call_once also blocks late callers until the winning join completes, so
-  // every stop() returns only after the dispatcher is gone.
-  std::call_once(join_once_, [this] { dispatcher_.join(); });
+  const int shard_idx = static_cast<int>(id % shards_.size());
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  gnn::EmbeddingCache* cache = nullptr;
+  {
+    util::MutexLock lk(sh.mu);
+    std::unique_ptr<gnn::EmbeddingCache>& slot = sh.caches[id];
+    slot = std::make_unique<gnn::EmbeddingCache>();
+    cache = slot.get();
+    ++sh.open_sessions;
+  }
+  return Session(this, id, shard_idx, cache);
+}
+
+void PolicyServer::close_session(const Session& session) {
+  Shard& sh = *shards_[static_cast<std::size_t>(session.shard_)];
+  {
+    util::MutexLock lk(sh.mu);
+    sh.caches.erase(session.id_);
+    --sh.open_sessions;
+  }
+  // The shard's adaptive-wait target shrank: a dispatcher holding a shallow
+  // batch open for this session must re-evaluate instead of sleeping out
+  // the full bounded wait.
+  sh.work_cv.notify_all();
+}
+
+Session& Session::operator=(Session&& other) noexcept {
+  if (this != &other) {
+    close();
+    server_ = other.server_;
+    id_ = other.id_;
+    shard_ = other.shard_;
+    cache_ = other.cache_;
+    other.server_ = nullptr;
+    other.cache_ = nullptr;
+  }
+  return *this;
+}
+
+void Session::close() {
+  if (server_ == nullptr) return;
+  server_->close_session(*this);
+  server_ = nullptr;
+  cache_ = nullptr;
+}
+
+const gnn::EmbeddingCacheStats& Session::cache_stats() const {
+  static const gnn::EmbeddingCacheStats kEmpty{};
+  return cache_ != nullptr ? cache_->stats() : kEmpty;
 }
 
 DecideResult PolicyServer::degraded_answer(const sim::ClusterEnv& env,
@@ -93,39 +231,92 @@ DecideResult PolicyServer::degraded_answer(const sim::ClusterEnv& env,
   return result;
 }
 
+PolicyServer::Shard& PolicyServer::shard_for_cache(
+    const gnn::EmbeddingCache* cache) {
+  if (shards_.size() == 1) return *shards_[0];
+  const std::size_t idx =
+      cache != nullptr
+          ? std::hash<const void*>{}(cache) % shards_.size()
+          : raw_rr_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  return *shards_[idx];
+}
+
+DecideResult PolicyServer::decide_with_status(Session& session,
+                                              const sim::ClusterEnv& env) {
+  if (!session.open() || session.server_ != this) {
+    // Closed/foreign handle: serve uncached, like a raw call without a
+    // cache. Keeps moved-from handles harmless instead of UB.
+    return decide_on_shard(shard_for_cache(nullptr), env, nullptr);
+  }
+  return decide_on_shard(*shards_[static_cast<std::size_t>(session.shard_)],
+                         env, session.cache_);
+}
+
+sim::Action PolicyServer::decide(Session& session, const sim::ClusterEnv& env) {
+  return decide_with_status(session, env).action;
+}
+
 DecideResult PolicyServer::decide_with_status(const sim::ClusterEnv& env,
                                               gnn::EmbeddingCache* cache) {
+  return decide_on_shard(shard_for_cache(cache), env, cache);
+}
+
+sim::Action PolicyServer::decide(const sim::ClusterEnv& env,
+                                 gnn::EmbeddingCache* cache) {
+  return decide_with_status(env, cache).action;
+}
+
+DecideResult PolicyServer::decide_on_shard(Shard& sh,
+                                           const sim::ClusterEnv& env,
+                                           gnn::EmbeddingCache* cache) {
   ServeMetrics& metrics = ServeMetrics::get();
   // End-to-end latency as this session sees it, every outcome included.
   obs::ScopedLatencyUs decide_latency(metrics.decide_latency_us);
-  Request req;
-  req.env = &env;
-  req.cache = cache;
+  // Heap-shared: the ring (and the dispatcher) may hold the request past
+  // this frame if the session abandons it on deadline expiry.
+  auto req = std::make_shared<Request>();
+  req->env = &env;
+  req->cache = cache;
   if (obs::metrics_enabled()) {
-    req.enqueue_tp = std::chrono::steady_clock::now();
-    req.enqueue_timed = true;
+    req->enqueue_tp = std::chrono::steady_clock::now();
+    req->enqueue_timed = true;
   }
   bool rejected = false;
+  bool stopped = false;
   {
-    util::MutexLock lk(mu_);
-    if (stopping_) {
-      ++stats_.stopped_answers;
-      metrics.stopped.inc();
-      return DecideResult{sim::Action::none(), DecideStatus::kStopped, false};
+    util::MutexLock lk(sh.mu);
+    for (;;) {
+      if (sh.stopping) {
+        ++sh.st.stopped_answers;
+        stopped = true;
+        break;
+      }
+      if (config_.max_queue > 0 &&
+          sh.ring.size() >= static_cast<std::size_t>(config_.max_queue)) {
+        // Backpressure: bounce instead of queueing unboundedly; the request
+        // is answered below by the (lock-free) heuristic and never reaches
+        // the dispatcher. The producer-side ring size is exact-or-over
+        // (util/ring.h), so the per-shard bound is never exceeded.
+        ++sh.st.rejections;
+        if (config_.heuristic_fallback) ++sh.st.fallbacks;
+        rejected = true;
+        break;
+      }
+      if (sh.ring.try_push(req)) {
+        sh.st.max_queue_depth =
+            std::max(sh.st.max_queue_depth,
+                     static_cast<std::uint64_t>(sh.ring.size()));
+        break;
+      }
+      // Ring full in an unbounded config: wait for the dispatcher to free
+      // slots (done_cv doubles as the space signal — the dispatcher
+      // notifies it after every pop cycle), then recheck from the top.
+      sh.done_cv.wait(sh.mu);
     }
-    if (config_.max_queue > 0 &&
-        queue_.size() >= static_cast<std::size_t>(config_.max_queue)) {
-      // Backpressure: bounce instead of queueing unboundedly; the request is
-      // answered below by the (lock-free) heuristic and never reaches the
-      // dispatcher.
-      ++stats_.rejections;
-      if (config_.heuristic_fallback) ++stats_.fallbacks;
-      rejected = true;
-    } else {
-      queue_.push_back(&req);
-      stats_.max_queue_depth = std::max(
-          stats_.max_queue_depth, static_cast<std::uint64_t>(queue_.size()));
-    }
+  }
+  if (stopped) {
+    metrics.stopped.inc();
+    return DecideResult{sim::Action::none(), DecideStatus::kStopped, false};
   }
   if (rejected) {
     metrics.rejected.inc();
@@ -133,7 +324,7 @@ DecideResult PolicyServer::decide_with_status(const sim::ClusterEnv& env,
     return degraded_answer(env, DecideStatus::kRejected);
   }
 
-  work_cv_.notify_one();
+  sh.work_cv.notify_one();
   const bool has_deadline = config_.deadline > 0.0;
   const auto submit_time = std::chrono::steady_clock::now();
   const auto deadline_tp =
@@ -141,33 +332,35 @@ DecideResult PolicyServer::decide_with_status(const sim::ClusterEnv& env,
                         std::chrono::duration<double>(config_.deadline));
   bool timed_out = false;
   {
-    util::MutexLock lk(mu_);
+    util::MutexLock lk(sh.mu);
     bool enforce_deadline = has_deadline;
-    while (!req.done) {
+    while (req->state.load(std::memory_order_acquire) != Request::kDone) {
       if (!enforce_deadline) {
-        done_cv_.wait(mu_);
+        sh.done_cv.wait(sh.mu);
         continue;
       }
       const auto now = std::chrono::steady_clock::now();
       if (now >= deadline_tp) {
-        const auto it = std::find(queue_.begin(), queue_.end(), &req);
-        if (it != queue_.end()) {
-          // Still queued: withdraw the request before the dispatcher can
-          // claim it, and answer from the fallback.
-          queue_.erase(it);
-          ++stats_.timeouts;
-          if (config_.heuristic_fallback) ++stats_.fallbacks;
+        int expected = Request::kQueued;
+        if (req->state.compare_exchange_strong(expected, Request::kAbandoned,
+                                               std::memory_order_acq_rel)) {
+          // Withdrawn before any dispatcher claimed it: the stale ring
+          // entry is skipped (and freed) at the next pop cycle, and the
+          // request is answered from the fallback.
+          ++sh.st.timeouts;
+          if (config_.heuristic_fallback) ++sh.st.fallbacks;
           timed_out = true;
           break;
         }
-        // In flight: the dispatcher holds a pointer to this stack frame, so
-        // we MUST wait for its answer (which is about to arrive anyway).
+        // Claimed: the dispatcher is scoring this request, so its answer
+        // MUST be awaited (it is about to arrive anyway) — decisions are
+        // never half-delivered.
         enforce_deadline = false;
         continue;
       }
-      done_cv_.wait_for(
-          mu_, std::chrono::duration_cast<std::chrono::nanoseconds>(
-                   deadline_tp - now));
+      sh.done_cv.wait_for(
+          sh.mu, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     deadline_tp - now));
     }
   }
   if (timed_out) {
@@ -176,12 +369,7 @@ DecideResult PolicyServer::decide_with_status(const sim::ClusterEnv& env,
     return degraded_answer(env, DecideStatus::kTimedOut);
   }
   metrics.ok.inc();
-  return DecideResult{req.action, DecideStatus::kOk, false};
-}
-
-sim::Action PolicyServer::decide(const sim::ClusterEnv& env,
-                                 gnn::EmbeddingCache* cache) {
-  return decide_with_status(env, cache).action;
+  return DecideResult{req->action, DecideStatus::kOk, false};
 }
 
 void PolicyServer::swap_policy(
@@ -194,7 +382,7 @@ void PolicyServer::swap_policy(
     util::MutexLock lk(mu_);
     retired = std::move(policy_);
     policy_ = std::move(policy);
-    ++stats_.snapshot_swaps;
+    ++snapshot_swaps_;
   }
   ServeMetrics::get().snapshot_swaps.inc();
 }
@@ -207,43 +395,100 @@ bool PolicyServer::swap_policy_from_checkpoint(const std::string& path) {
   return true;
 }
 
-void PolicyServer::dispatch_loop() {
+void PolicyServer::bounded_batch_wait(Shard& sh) {
+  if (config_.batch_wait_us <= 0) return;
+  // The batch-growth target: every open session on the shard could submit
+  // one request, capped by max_batch. Recomputed each wakeup — sessions may
+  // open/close while we wait (close_session notifies work_cv for exactly
+  // this reason).
+  std::size_t target = static_cast<std::size_t>(sh.open_sessions);
+  if (config_.max_batch > 0) {
+    target = std::min(target, static_cast<std::size_t>(config_.max_batch));
+  }
+  // A lone session (or a raw-API shard with no session registry) gains
+  // nothing from waiting; a ring already at target depth dispatches now.
+  if (target <= 1 || sh.ring.size() >= target) return;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::microseconds(config_.batch_wait_us);
+  while (!sh.stopping && sh.ring.size() < target) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    sh.work_cv.wait_for(
+        sh.mu,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now));
+    target = static_cast<std::size_t>(sh.open_sessions);
+    if (config_.max_batch > 0) {
+      target = std::min(target, static_cast<std::size_t>(config_.max_batch));
+    }
+    if (target <= 1) break;
+  }
+  if (obs::metrics_enabled()) {
+    sh.m_batch_wait_us->observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+}
+
+void PolicyServer::dispatch_loop(Shard& sh) {
+  ServeMetrics& metrics = ServeMetrics::get();
   for (;;) {
-    std::vector<Request*> batch;
+    {
+      util::MutexLock lk(sh.mu);
+      while (!sh.stopping && sh.ring.empty()) sh.work_cv.wait(sh.mu);
+      if (sh.stopping && sh.ring.empty()) return;  // drained and answered
+      bounded_batch_wait(sh);
+    }
+
+    // Claim lock-free: pop up to max_batch entries, skipping requests their
+    // sessions abandoned on deadline expiry (the CAS decides each race
+    // exactly once; dropping the popped shared_ptr frees an abandoned
+    // request).
+    std::vector<std::shared_ptr<Request>> batch;
+    const std::size_t cap =
+        config_.max_batch > 0 ? static_cast<std::size_t>(config_.max_batch)
+                              : std::numeric_limits<std::size_t>::max();
+    std::size_t popped = 0;
+    std::shared_ptr<Request> r;
+    while (batch.size() < cap && sh.ring.try_pop(r)) {
+      ++popped;
+      int expected = Request::kQueued;
+      if (r->state.compare_exchange_strong(expected, Request::kClaimed,
+                                           std::memory_order_acq_rel)) {
+        batch.push_back(std::move(r));
+      }
+      r.reset();
+    }
+    if (batch.empty()) {
+      // Everything popped had been abandoned; the freed slots may unblock a
+      // producer waiting on ring space.
+      if (popped > 0) sh.done_cv.notify_all();
+      continue;
+    }
+
+    // Pin this batch's snapshot: swap_policy may publish a new one while we
+    // score unlocked, and the whole batch must answer from one policy.
     std::shared_ptr<const core::DecimaAgent> policy;
     {
       util::MutexLock lk(mu_);
-      while (!stopping_ && queue_.empty()) work_cv_.wait(mu_);
-      if (queue_.empty()) return;  // stopping, and everything answered
-      const std::size_t take =
-          config_.max_batch > 0
-              ? std::min(queue_.size(),
-                         static_cast<std::size_t>(config_.max_batch))
-              : queue_.size();
-      batch.assign(queue_.begin(),
-                   queue_.begin() + static_cast<std::ptrdiff_t>(take));
-      queue_.erase(queue_.begin(),
-                   queue_.begin() + static_cast<std::ptrdiff_t>(take));
-      // Pin this batch's snapshot: swap_policy may publish a new one while
-      // we score unlocked, and the whole batch must answer from one policy.
       policy = policy_;
     }
 
     // Batch-assembly observability: how long each claimed request sat
-    // queued, and the coalesced batch shape. Reading the requests' enqueue
-    // stamps here is the same dispatcher-side ownership window as env/cache.
-    ServeMetrics& metrics = ServeMetrics::get();
+    // queued, and the coalesced batch shape — globally and per shard.
     if (obs::metrics_enabled()) {
       const auto now = std::chrono::steady_clock::now();
-      for (const Request* r : batch) {
-        if (r->enqueue_timed) {
+      for (const std::shared_ptr<Request>& p : batch) {
+        if (p->enqueue_timed) {
           metrics.queue_wait_us.observe(
-              std::chrono::duration<double, std::micro>(now - r->enqueue_tp)
+              std::chrono::duration<double, std::micro>(now - p->enqueue_tp)
                   .count());
         }
       }
       metrics.batch_size.observe(static_cast<double>(batch.size()));
       metrics.batches.inc();
+      sh.m_batch_size->observe(static_cast<double>(batch.size()));
+      sh.m_queue_depth->set(static_cast<double>(sh.ring.size()));
     }
 
     // Inference runs unlocked: the waiting session threads are blocked until
@@ -252,47 +497,73 @@ void PolicyServer::dispatch_loop() {
     {
       obs::Span batch_span(obs::names::kSpanServeBatch, "serve");
       obs::ScopedLatencyUs infer_latency(metrics.batch_infer_us);
-      if (config_.cross_session_batching) {
+      if (config_.cross_session_batching && batch.size() > 1) {
         std::vector<const sim::ClusterEnv*> envs;
         std::vector<gnn::EmbeddingCache*> caches;
         envs.reserve(batch.size());
         caches.reserve(batch.size());
-        for (const Request* r : batch) {
-          envs.push_back(r->env);
-          caches.push_back(r->cache);
+        for (const std::shared_ptr<Request>& p : batch) {
+          envs.push_back(p->env);
+          caches.push_back(p->cache);
         }
         actions = policy->decide_batch(envs, caches);
       } else {
+        // Sequential reference path, and the singleton fast path of batched
+        // mode: decide() is bit-identical to a one-element decide_batch()
+        // without the batch-assembly overhead.
         actions.reserve(batch.size());
-        for (const Request* r : batch) {
-          actions.push_back(policy->decide(*r->env, r->cache));
+        for (const std::shared_ptr<Request>& p : batch) {
+          actions.push_back(policy->decide(*p->env, p->cache));
         }
       }
     }
 
     {
-      util::MutexLock lk(mu_);
-      stats_.decisions += batch.size();
-      stats_.batches += 1;
-      stats_.max_batch_size =
-          std::max(stats_.max_batch_size,
-                   static_cast<std::uint64_t>(batch.size()));
+      util::MutexLock lk(sh.mu);
+      sh.st.decisions += batch.size();
+      sh.st.batches += 1;
+      sh.st.max_batch_size = std::max(
+          sh.st.max_batch_size, static_cast<std::uint64_t>(batch.size()));
       for (std::size_t i = 0; i < batch.size(); ++i) {
         batch[i]->action = actions[i];
-        batch[i]->done = true;
+        batch[i]->state.store(Request::kDone, std::memory_order_release);
       }
     }
-    done_cv_.notify_all();
+    sh.m_decisions->inc(static_cast<std::uint64_t>(batch.size()));
+    sh.done_cv.notify_all();
   }
 }
 
 ServeStats PolicyServer::stats() const {
-  util::MutexLock lk(mu_);
-  ServeStats s = stats_;
-  s.mean_batch_size =
-      s.batches > 0 ? static_cast<double>(s.decisions) /
-                          static_cast<double>(s.batches)
-                    : 0.0;
+  ServeStats s;
+  {
+    util::MutexLock lk(mu_);
+    s.snapshot_swaps = snapshot_swaps_;
+  }
+  for (const auto& sh : shards_) {
+    util::MutexLock lk(sh->mu);
+    s.decisions += sh->st.decisions;
+    s.batches += sh->st.batches;
+    s.max_batch_size = std::max(s.max_batch_size, sh->st.max_batch_size);
+    s.rejections += sh->st.rejections;
+    s.timeouts += sh->st.timeouts;
+    s.fallbacks += sh->st.fallbacks;
+    s.stopped_answers += sh->st.stopped_answers;
+    s.max_queue_depth = std::max(s.max_queue_depth, sh->st.max_queue_depth);
+  }
+  s.mean_batch_size = s.batches > 0 ? static_cast<double>(s.decisions) /
+                                          static_cast<double>(s.batches)
+                                    : 0.0;
+  return s;
+}
+
+ServeStats PolicyServer::shard_stats(int shard) const {
+  Shard& sh = *shards_.at(static_cast<std::size_t>(shard));
+  util::MutexLock lk(sh.mu);
+  ServeStats s = sh.st;
+  s.mean_batch_size = s.batches > 0 ? static_cast<double>(s.decisions) /
+                                          static_cast<double>(s.batches)
+                                    : 0.0;
   return s;
 }
 

@@ -1,64 +1,115 @@
-// The multi-session serving subsystem (docs/serving.md).
+// The sharded multi-session serving subsystem (docs/serving.md).
 //
 // Training produces a policy; this layer serves it. A PolicyServer loads a
 // policy checkpoint (io::load_policy_agent) into an immutable snapshot and
-// answers scheduling queries for many concurrent cluster sessions: each
-// session thread drives its own simulated ClusterEnv and blocks on decide()
-// at every scheduling query; a single dispatcher thread drains the request
-// queue and scores all pending sessions' events in ONE forward evaluation
-// (DecimaAgent::decide_batch — cross-session batching, the serving analogue
-// of the episode-batched replay). Decisions are bit-identical to scoring each
-// session alone, so throughput is the only thing batching changes
-// (bench_serve_throughput, BENCH_serve.json).
+// answers scheduling queries for many concurrent cluster sessions. The
+// serving plane is sharded (ServeConfig::shards, default 1 — the reference
+// single-dispatcher path): each shard owns a dispatcher thread, a bounded
+// lock-free SPSC request ring (util/ring.h; session threads are serialized
+// into the single-producer role by the shard mutex, the dispatcher pops
+// lock-free), a map of the embedding caches of the sessions pinned to it,
+// and its own load counters/histograms in the obs registry
+// (serve.shard.* — docs/observability.md). Sessions get stable shard
+// affinity so their incremental embedding caches stay hot on one dispatcher.
+// Within a shard the dispatcher drains pending requests and scores them in
+// ONE forward evaluation (DecimaAgent::decide_batch — cross-session
+// batching, the serving analogue of episode-batched replay). Decisions are
+// bit-identical to scoring each session alone, so throughput is the only
+// thing sharding or batching changes (bench_serve_throughput,
+// bench_serve_sharded; shards=1 is pinned bit-identical to the pre-shard
+// dispatcher by tests/test_serve.cpp's Shards4MatchesShards1 family).
+//
+// Sessions are first-class: PolicyServer::open_session() returns a
+// serve::Session handle that owns the session's incremental embedding cache
+// and its shard affinity; decide_with_status(session, env) replaces the old
+// caller-threaded EmbeddingCache* plumbing (which survives one release as a
+// thin compatibility wrapper below).
 //
 // Snapshots are hot-swappable: swap_policy() publishes a new agent under the
-// server lock without draining sessions — the dispatcher pins the current
-// snapshot (shared_ptr copy) per batch, in-flight batches finish on the old
-// snapshot, and the per-session embedding caches self-invalidate on the
-// parameter-version mismatch the first time the new snapshot answers them.
+// server lock without draining sessions — every shard's dispatcher pins the
+// current snapshot (shared_ptr copy) per batch, in-flight batches finish on
+// the old snapshot, and the per-session embedding caches self-invalidate on
+// the parameter-version mismatch the first time the new snapshot answers.
 //
-// The server degrades gracefully under saturation (docs/robustness.md):
-// the queue can be bounded (requests beyond it are rejected — backpressure),
-// queued requests can carry a deadline (timed out if the dispatcher doesn't
+// The server degrades gracefully under saturation (docs/robustness.md),
+// shard-locally: each shard's ring can be bounded (ServeConfig::max_queue is
+// a per-shard bound; excess requests are rejected — backpressure), queued
+// requests can carry a deadline (timed out if the shard's dispatcher doesn't
 // reach them in time), and rejected/timed-out requests are answered by the
 // SJF-CP heuristic instead of an empty action. Every request resolves with
-// an explicit DecideStatus — ok, timed-out, rejected, or stopped — and
-// every degradation event is counted in ServeStats.
+// an explicit DecideStatus — ok, timed-out, rejected, or stopped — and every
+// degradation event is counted in the shard's ServeStats; stats() aggregates
+// across shards with the same exact-accounting guarantee.
+//
+// Adaptive bounded-wait batching: with ServeConfig::batch_wait_us > 0 a
+// shard whose ring is shallower than its open-session count waits up to
+// that long for more sessions to submit before dispatching — shallow
+// batches grow at low load, while a deep ring (or a lone session)
+// dispatches immediately. Waiting reorders nothing a session can observe:
+// decisions stay bit-identical, only latency/throughput shift.
 //
 // Locking discipline (docs/concurrency.md): every mutable member is
-// GUARDED_BY(mu_) and the Clang thread-safety analysis proves it at compile
-// time; the only unannotated sharing is the Request handoff, documented at
-// the struct.
+// GUARDED_BY its shard mutex (or the server mutex mu_ for the snapshot) and
+// the Clang thread-safety analysis proves it at compile time; the two
+// unannotated sharings are the SPSC ring (contract documented in
+// util/ring.h and enforced by the shard mutex on the producer side) and the
+// Request handoff, documented at the struct.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>  // std::once_flag only — locks live in util/sync.h
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/agent.h"
 #include "sim/cluster_env.h"
+#include "util/ring.h"
 #include "util/sync.h"
 #include "workload/arrivals.h"
+
+namespace decima::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace decima::obs
 
 namespace decima::serve {
 
 struct ServeConfig {
   // Most pending requests one dispatch may coalesce; 0 drains the whole
-  // queue. Decisions do not depend on batch composition, only latency does.
+  // ring. Decisions do not depend on batch composition, only latency does.
   int max_batch = 0;
   // false scores queued requests one at a time (the sequential reference
   // path of bench_serve_throughput); decisions are identical either way.
   bool cross_session_batching = true;
 
+  // --- Sharding (docs/serving.md) ------------------------------------------
+  // Dispatcher shards. 1 (the default) is the reference path, bit-identical
+  // to the historical single-dispatcher server. Sessions are pinned to
+  // shards round-robin at open_session(); a session's every request lands on
+  // its shard, so its embedding cache is only ever touched by one
+  // dispatcher.
+  int shards = 1;
+  // Adaptive bounded-wait dispatch: when > 0, a shard whose pending-request
+  // count is below its open-session count waits up to this many microseconds
+  // for more submissions before dispatching a shallow batch. 0 (default) =
+  // dispatch immediately, the historical behavior.
+  int batch_wait_us = 0;
+  // Per-shard SPSC ring capacity override (rounded up to a power of two).
+  // 0 = automatic: enough for max_queue plus headroom. Must be >= max_queue
+  // when both are set — validate() enforces it.
+  int ring_capacity = 0;
+
   // --- Graceful degradation (docs/robustness.md) ---------------------------
-  // Bounded queue: a request arriving while max_queue requests are already
-  // pending is rejected (kRejected) instead of enqueued — backpressure, not
-  // unbounded latency. 0 = unbounded (the pre-degradation behavior).
+  // Bounded queue, per shard: a request arriving while max_queue requests
+  // are already pending on its shard is rejected (kRejected) instead of
+  // enqueued — backpressure, not unbounded latency. 0 = unbounded (the
+  // pre-degradation behavior).
   int max_queue = 0;
   // Per-request deadline in seconds: a request still QUEUED this long after
   // submission gives up (kTimedOut). A request the dispatcher already picked
@@ -70,6 +121,13 @@ struct ServeConfig {
   // keeps making progress on a good-but-not-learned policy while the server
   // is saturated. Stopped servers never fall back — sessions must wind down.
   bool heuristic_fallback = true;
+
+  // Fail-loudly construction: throws std::invalid_argument on nonsense
+  // (shards < 1, negative budgets/deadlines, a per-shard queue bound smaller
+  // than the batch size, a ring override smaller than the queue bound).
+  // PolicyServer's constructor calls this, so a misconfigured server never
+  // starts silently degraded. The knob table lives in docs/serving.md.
+  void validate() const;
 };
 
 struct ServeStats {
@@ -80,11 +138,11 @@ struct ServeStats {
   double mean_batch_size = 0.0;
   // Degradation events (every one is also a returned DecideResult status —
   // requests are answered ok/timed-out/rejected/stopped, never dropped).
-  std::uint64_t rejections = 0;       // bounced off a full queue
+  std::uint64_t rejections = 0;       // bounced off a full per-shard ring
   std::uint64_t timeouts = 0;         // deadline expired while queued
   std::uint64_t fallbacks = 0;        // degraded answers routed to SJF-CP
   std::uint64_t stopped_answers = 0;  // queries arriving after stop()
-  std::uint64_t max_queue_depth = 0;  // high-water pending-request count
+  std::uint64_t max_queue_depth = 0;  // high-water pending count (per shard)
 };
 
 // Why a decision came back the way it did. Replaces the old convention of
@@ -103,15 +161,61 @@ struct DecideResult {
   bool fallback = false;  // action came from the SJF-CP heuristic
 };
 
+class PolicyServer;
+
+// A served session's identity: its shard affinity and its incremental
+// embedding cache, owned by the server for exactly the handle's lifetime.
+// Obtained from PolicyServer::open_session(); movable, not copyable; closes
+// (and frees the cache) on destruction or close(). A Session must not
+// outlive its server, and is single-threaded like the session it names:
+// one thread drives decide_with_status(session, env) at a time.
+class Session {
+ public:
+  Session() = default;
+  Session(Session&& other) noexcept { *this = std::move(other); }
+  Session& operator=(Session&& other) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session() { close(); }
+
+  // Unregisters from the server and frees the embedding cache. Idempotent;
+  // safe on a moved-from or default-constructed handle.
+  void close();
+
+  bool open() const { return server_ != nullptr; }
+  // The shard every request of this session lands on (stable for the
+  // handle's lifetime).
+  int shard() const { return shard_; }
+  std::uint64_t id() const { return id_; }
+  // The session's embedding-cache accounting (all zeros after close(), or
+  // when the policy snapshot was exported with embed_cache off).
+  const gnn::EmbeddingCacheStats& cache_stats() const;
+
+ private:
+  friend class PolicyServer;
+  Session(PolicyServer* server, std::uint64_t id, int shard,
+          gnn::EmbeddingCache* cache)
+      : server_(server), id_(id), shard_(shard), cache_(cache) {}
+
+  PolicyServer* server_ = nullptr;
+  std::uint64_t id_ = 0;
+  int shard_ = 0;
+  // Owned by the server's shard (stable address in the shard's cache map);
+  // only the shard dispatcher touches it while a request is in flight.
+  gnn::EmbeddingCache* cache_ = nullptr;
+};
+
 class PolicyServer {
  public:
   // Takes ownership of the policy snapshot; the server only ever touches it
-  // through the const read-only inference path. The dispatcher thread starts
-  // immediately.
+  // through the const read-only inference path. Validates `config`
+  // (ServeConfig::validate — throws std::invalid_argument on nonsense, or
+  // on a null policy) and starts one dispatcher thread per shard.
   explicit PolicyServer(std::unique_ptr<const core::DecimaAgent> policy,
                         ServeConfig config = {});
   // Loads a policy checkpoint written by io::save_policy; null on any
-  // checkpoint error.
+  // checkpoint error. A nonsense `config` still throws, as the constructor
+  // does.
   static std::unique_ptr<PolicyServer> from_checkpoint(
       const std::string& path, ServeConfig config = {});
   ~PolicyServer();
@@ -119,70 +223,138 @@ class PolicyServer {
   PolicyServer(const PolicyServer&) = delete;
   PolicyServer& operator=(const PolicyServer&) = delete;
 
-  // Blocking decision query, called from session threads: enqueues the
-  // session's current state and waits for the dispatcher's answer — or
-  // degrades per the config (kRejected on a full queue, kTimedOut past the
-  // deadline, kStopped once stopped), answering rejected/timed-out requests
-  // from SJF-CP when heuristic_fallback is set. `cache` is the session's
-  // incremental embedding cache (ServedScheduler owns one per session):
-  // consecutive queries of a session re-embed only what changed between
-  // them, even when the dispatcher scores the session inside a cross-session
-  // batch. Only the dispatcher touches it while the session blocks, and the
-  // parameter-version check inside the agent clears it when a different
-  // policy snapshot answers (snapshot swap). Null = no caching. The fallback
-  // path never touches the cache, so a degraded answer cannot stale it.
+  // Registers a new session: assigns it a shard (round-robin, stable for the
+  // session's lifetime) and an embedding cache owned by that shard. The
+  // handle unregisters itself on destruction. Sessions opened on a stopped
+  // server are valid but every query answers kStopped.
+  Session open_session() EXCLUDES(mu_);
+
+  // Blocking decision query, called from the session's thread: enqueues the
+  // session's current state on its shard and waits for that shard's
+  // dispatcher — or degrades per the config (kRejected on a full ring,
+  // kTimedOut past the deadline, kStopped once stopped), answering
+  // rejected/timed-out requests from SJF-CP when heuristic_fallback is set.
+  // The session's embedding cache rides along: consecutive queries re-embed
+  // only what changed between them, even inside a cross-session batch. The
+  // fallback path never touches the cache, so a degraded answer cannot
+  // stale it. A closed/empty handle serves uncached.
+  DecideResult decide_with_status(Session& session, const sim::ClusterEnv& env)
+      EXCLUDES(mu_);
+  // Action-only convenience wrapper. NOTE the historical ambiguity this API
+  // keeps for compatibility: Action::none() here means EITHER "stopped" or
+  // "no runnable work" — callers that care use decide_with_status.
+  sim::Action decide(Session& session, const sim::ClusterEnv& env)
+      EXCLUDES(mu_);
+
+  // --- Deprecated raw-cache-pointer compatibility (one release) ------------
+  // The pre-Session API: the caller threads its own EmbeddingCache* through
+  // every call. Kept as a thin wrapper — shard affinity comes from hashing
+  // the cache pointer (uncached callers rotate round-robin), so a caller
+  // reusing one cache still lands on one shard. New code opens a Session.
   DecideResult decide_with_status(const sim::ClusterEnv& env,
                                   gnn::EmbeddingCache* cache = nullptr)
       EXCLUDES(mu_);
-
-  // Action-only convenience wrapper around decide_with_status. NOTE the
-  // historical ambiguity this API keeps for compatibility: Action::none()
-  // here means EITHER "stopped" or "no runnable work" — callers that care
-  // use decide_with_status.
   sim::Action decide(const sim::ClusterEnv& env,
                      gnn::EmbeddingCache* cache = nullptr) EXCLUDES(mu_);
 
   // Publishes `policy` as the snapshot answering every *subsequent* batch;
-  // batches already dispatched finish on the snapshot they pinned. Live
-  // sessions keep their embedding caches — the agent's parameter-version
-  // check invalidates them on first contact with the new snapshot (pinned by
-  // DecideBatch.SessionCacheSurvivesSnapshotSwap). The retired snapshot is
-  // destroyed once the last in-flight batch drops its pin. Null is ignored.
+  // batches already dispatched (on any shard) finish on the snapshot they
+  // pinned. Live sessions keep their embedding caches — the agent's
+  // parameter-version check invalidates them on first contact with the new
+  // snapshot (pinned by DecideBatch.SessionCacheSurvivesSnapshotSwap). The
+  // retired snapshot is destroyed once the last in-flight batch drops its
+  // pin. Null is ignored.
   void swap_policy(std::unique_ptr<const core::DecimaAgent> policy)
       EXCLUDES(mu_);
   // swap_policy from a checkpoint written by io::save_policy; false (and no
   // swap) on any checkpoint error.
   bool swap_policy_from_checkpoint(const std::string& path) EXCLUDES(mu_);
 
-  // Drains outstanding requests and joins the dispatcher. Idempotent; the
-  // destructor calls it.
+  // Drains outstanding requests on every shard and joins the dispatchers.
+  // Idempotent; the destructor calls it.
   void stop() EXCLUDES(mu_);
 
+  // Aggregate across shards: sums for the counters, max for the high-water
+  // marks (max_batch_size; max_queue_depth stays a per-shard bound — the
+  // ladder's admission check is shard-local).
   ServeStats stats() const EXCLUDES(mu_);
+  // One shard's own ladder accounting (snapshot_swaps is server-level and
+  // reported as 0 here). `shard` must be in [0, num_shards()).
+  ServeStats shard_stats(int shard) const EXCLUDES(mu_);
+  int num_shards() const { return static_cast<int>(shards_.size()); }
   // The snapshot currently answering queries. Callers get their own pin: the
   // agent stays alive (and immutable) even if the server swaps or dies.
   std::shared_ptr<const core::DecimaAgent> policy() const EXCLUDES(mu_);
   const ServeConfig& config() const { return config_; }
 
  private:
-  // One blocking query. The handoff protocol makes the unannotated fields
-  // safe: the owning session thread never reads them between enqueue and the
-  // done_cv_ wakeup that observes `done` under mu_, and the dispatcher never
-  // touches them after setting `done` under mu_ — ownership passes through
-  // the mutex in both directions.
+  friend class Session;
+
+  // One blocking query, heap-shared between the session thread and the ring:
+  // `state` is the claim/abandon protocol that replaces the old
+  // erase-from-queue withdrawal (a lock-free ring cannot unpublish). The
+  // session abandons a still-queued request on deadline expiry (CAS
+  // kQueued→kAbandoned); the dispatcher claims at pop (CAS
+  // kQueued→kClaimed) and skips abandoned entries — exactly one side wins,
+  // so a claimed request always waits for its answer and a withdrawn one is
+  // never half-delivered, same as the historical dispatcher. The remaining
+  // unannotated fields follow the old handoff protocol: the session thread
+  // never reads them between enqueue and observing kDone under the shard
+  // mutex, and the dispatcher never touches them after the kDone store.
   struct Request {
+    enum State : int { kQueued = 0, kClaimed, kDone, kAbandoned };
     const sim::ClusterEnv* env = nullptr;
     gnn::EmbeddingCache* cache = nullptr;  // session-owned, may be null
     // Queue-wait observability (docs/observability.md): stamped at enqueue
-    // when metrics were enabled; the dispatcher reads it after claiming the
-    // request, under the same handoff ownership as env/cache above.
+    // when metrics were enabled; the dispatcher reads it after claiming.
     std::chrono::steady_clock::time_point enqueue_tp{};
     bool enqueue_timed = false;
     sim::Action action;
-    bool done = false;
+    std::atomic<int> state{kQueued};
   };
 
-  void dispatch_loop() EXCLUDES(mu_);
+  // One dispatcher shard: ring, caches of the sessions pinned here, local
+  // ladder accounting, and the shard's obs instruments. The mutex serializes
+  // producers into the ring's single-producer contract and carries the
+  // done/work signaling; the dispatcher pops the ring without it.
+  struct Shard {
+    explicit Shard(std::size_t ring_cap) : ring(ring_cap) {}
+
+    util::Mutex mu;
+    util::CondVar work_cv;  // dispatcher waits: work, stop, or batch growth
+    util::CondVar done_cv;  // sessions wait: answer ready / ring space freed
+    util::SpscRing<std::shared_ptr<Request>> ring;  // push under mu; pop free
+    bool stopping GUARDED_BY(mu) = false;
+    ServeStats st GUARDED_BY(mu);  // snapshot_swaps unused (server-level)
+    std::unordered_map<std::uint64_t, std::unique_ptr<gnn::EmbeddingCache>>
+        caches GUARDED_BY(mu);
+    int open_sessions GUARDED_BY(mu) = 0;
+
+    // Per-shard obs instruments (serve.shard.*, registered once at server
+    // construction as "<name>.<shard-index>"; recording is lock-free).
+    obs::Counter* m_decisions = nullptr;
+    obs::Gauge* m_queue_depth = nullptr;
+    obs::Histogram* m_batch_size = nullptr;
+    obs::Histogram* m_batch_wait_us = nullptr;
+
+    std::thread dispatcher;
+  };
+
+  void dispatch_loop(Shard& sh);
+  // Adaptive bounded-wait (docs/serving.md): holds the dispatcher up to
+  // batch_wait_us while the ring is shallower than the shard's open-session
+  // count (capped by max_batch), so low-load batches grow; returns
+  // immediately when the ring is already deep, the shard is stopping, or a
+  // lone session could never be joined by another.
+  void bounded_batch_wait(Shard& sh) REQUIRES(sh.mu);
+  // The shared enqueue/wait/degrade path behind both decide APIs.
+  DecideResult decide_on_shard(Shard& sh, const sim::ClusterEnv& env,
+                               gnn::EmbeddingCache* cache);
+  // Shard affinity for the deprecated raw-pointer API: hash of the cache
+  // pointer when present (a stable caller-owned cache keeps landing on one
+  // shard), round-robin otherwise.
+  Shard& shard_for_cache(const gnn::EmbeddingCache* cache);
+  void close_session(const Session& session);
   // Builds the degraded (rejected/timed-out) answer: SJF-CP when
   // heuristic_fallback is on, Action::none() otherwise.
   DecideResult degraded_answer(const sim::ClusterEnv& env,
@@ -190,16 +362,18 @@ class PolicyServer {
 
   const ServeConfig config_;
 
+  // Server-level state: the hot-swappable snapshot and session numbering.
+  // Shard-local state (ring, caches, ladder stats) lives in each Shard.
   mutable util::Mutex mu_;
-  util::CondVar work_cv_;  // dispatcher waits: work or stop
-  util::CondVar done_cv_;  // session threads wait: request done
   // The live snapshot. shared_ptr so a batch / policy() caller can pin it
   // across the unlocked inference while swap_policy retires it.
   std::shared_ptr<const core::DecimaAgent> policy_ GUARDED_BY(mu_);
-  std::deque<Request*> queue_ GUARDED_BY(mu_);
-  bool stopping_ GUARDED_BY(mu_) = false;
-  ServeStats stats_ GUARDED_BY(mu_);
-  std::thread dispatcher_;
+  std::uint64_t snapshot_swaps_ GUARDED_BY(mu_) = 0;
+  std::uint64_t next_session_id_ GUARDED_BY(mu_) = 0;
+  // Round-robin cursor for uncached raw-API calls; relaxed atomic (like the
+  // obs counters) so the deprecated hot path does not serialize on mu_.
+  std::atomic<std::uint64_t> raw_rr_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::once_flag join_once_;  // concurrent stop(): exactly one caller joins
 };
 
@@ -220,10 +394,11 @@ struct SessionDegradation {
 
 class ServedScheduler : public sim::Scheduler {
  public:
-  explicit ServedScheduler(PolicyServer& server) : server_(server) {}
+  explicit ServedScheduler(PolicyServer& server)
+      : server_(server), session_(server.open_session()) {}
   sim::Action schedule(const sim::ClusterEnv& env) override {
     ++decisions_;
-    const DecideResult r = server_.decide_with_status(env, &cache_);
+    const DecideResult r = server_.decide_with_status(session_, env);
     switch (r.status) {
       case DecideStatus::kOk: ++degradation_.ok; break;
       case DecideStatus::kTimedOut: ++degradation_.timeouts; break;
@@ -236,15 +411,16 @@ class ServedScheduler : public sim::Scheduler {
   std::string name() const override { return "Decima-served"; }
   std::size_t decisions() const { return decisions_; }
   const SessionDegradation& degradation() const { return degradation_; }
+  const Session& session() const { return session_; }
   const gnn::EmbeddingCacheStats& embed_cache_stats() const {
-    return cache_.stats();
+    return session_.cache_stats();
   }
 
  private:
   PolicyServer& server_;
-  // The session's incremental embedding cache: this scheduler is the
-  // session, so its lifetime is exactly the cache's stream of events.
-  gnn::EmbeddingCache cache_;
+  // The session handle: this scheduler is the session, so its lifetime is
+  // exactly the handle's (shard affinity + server-owned embedding cache).
+  Session session_;
   std::size_t decisions_ = 0;
   SessionDegradation degradation_;
 };

@@ -1,0 +1,89 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// The request-handoff primitive of the sharded serving plane
+// (src/serve/policy_server.h, docs/serving.md): each dispatcher shard owns
+// one SpscRing and is its only consumer; the many session threads that feed
+// the shard are serialized into the single-producer contract by the shard's
+// annotated util::Mutex (push happens under `Shard::mu`, pop never takes a
+// lock). That division is the point: producers contend only with each other
+// on their shard's mutex, never with the consumer, so dispatch claims cost
+// two atomic loads and a store even while requests stream in.
+//
+// Discipline (the analogue of src/util/sync.h's GUARDED_BY rules, which
+// cannot express lock-free ownership):
+//   * try_push may be called by ONE thread at a time (serialize producers
+//     externally — scripts/check_invariants.py rule spsc-ring-containment
+//     keeps uses of this type behind reviewed call sites).
+//   * try_pop may be called by ONE designated consumer thread only.
+//   * size()/empty() are safe from any thread but only approximate while
+//     the other side is mid-operation: size() read by the producer never
+//     under-counts (head_ is monotone), so bounded-queue admission checks
+//     built on it are conservative, never leaky.
+//
+// Memory ordering is the classic SPSC pairing: the producer's tail_ release
+// publishes the slot write to the consumer's tail_ acquire; the consumer's
+// head_ release returns the slot to the producer's head_ acquire.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace decima::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to the next power of two (>= 1) so index
+  // wrapping is a mask, not a modulo.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. False when the ring is full (the value is untouched —
+  // the caller keeps ownership and decides whether to wait or reject).
+  bool try_push(T v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[t & (slots_.size() - 1)] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) return false;
+    out = std::move(slots_[h & (slots_.size() - 1)]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Entries currently queued. Exact from within a producer- or
+  // consumer-side critical section; an upper bound for the producer while
+  // the consumer races (and vice versa a lower bound).
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  // Separate cache lines: the producer writes tail_ while the consumer
+  // writes head_; sharing a line would make every push/pop a coherence
+  // round trip.
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace decima::util

@@ -453,5 +453,161 @@ TEST(PolicyServer, FallbackOffReturnsNoneOnRejection) {
   EXPECT_FALSE(bad_reject);
 }
 
+// --- Sharded serving plane + Session API (docs/serving.md) ------------------
+
+TEST(ServeConfigValidate, RejectsNonsenseLoudly) {
+  EXPECT_NO_THROW(serve::ServeConfig{}.validate());
+
+  serve::ServeConfig cfg;
+  cfg.shards = 0;  // zero shards would serve nothing
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = {};
+  cfg.deadline = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = {};
+  cfg.max_queue = 2;
+  cfg.max_batch = 8;  // a full batch could never assemble
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = {};
+  cfg.ring_capacity = 4;
+  cfg.max_queue = 16;  // admitted requests would not fit the ring
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = {};
+  cfg.batch_wait_us = -5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // The server construction path validates too — misconfiguration fails at
+  // startup, not as silent serialization later.
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_validate.ckpt");
+  serve::ServeConfig bad;
+  bad.shards = -3;
+  EXPECT_THROW(serve::PolicyServer::from_checkpoint(ckpt, bad),
+               std::invalid_argument);
+}
+
+TEST(PolicyServerSharded, SessionAffinityPinsShardAndKeepsCacheWarm) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_affinity.ckpt");
+  serve::ServeConfig cfg;
+  cfg.shards = 4;
+  auto server = serve::PolicyServer::from_checkpoint(ckpt, cfg);
+  ASSERT_NE(server, nullptr);
+  ASSERT_EQ(server->num_shards(), 4);
+
+  core::DecimaAgent agent(agent_config());
+  const auto envs = mid_episode_envs(agent, 1, 2.0);
+
+  serve::Session session = server->open_session();
+  EXPECT_TRUE(session.open());
+  constexpr std::uint64_t kQueries = 12;
+  for (std::uint64_t i = 0; i < kQueries; ++i) {
+    const auto r = server->decide_with_status(session, *envs[0]);
+    EXPECT_EQ(r.status, serve::DecideStatus::kOk);
+  }
+  // Every query landed on the session's shard and nowhere else — the
+  // affinity that keeps its embedding cache on one dispatcher.
+  for (int s = 0; s < server->num_shards(); ++s) {
+    const auto st = server->shard_stats(s);
+    EXPECT_EQ(st.decisions, s == session.shard() ? kQueries : 0u)
+        << "shard " << s;
+  }
+  EXPECT_EQ(server->stats().decisions, kQueries);
+  // Identical consecutive queries ride the cache's reuse paths: the shard
+  // kept this session's cache hot across batches.
+  const auto& cs = session.cache_stats();
+  EXPECT_GT(cs.graphs_reused + cs.epoch_fast_hits, 0u);
+
+  session.close();
+  EXPECT_FALSE(session.open());
+  // A closed handle still answers (uncached), and close is idempotent.
+  EXPECT_EQ(server->decide_with_status(session, *envs[0]).status,
+            serve::DecideStatus::kOk);
+  session.close();
+}
+
+TEST(PolicyServerSharded, SessionsSpreadRoundRobinAcrossShards) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_rr.ckpt");
+  serve::ServeConfig cfg;
+  cfg.shards = 4;
+  auto server = serve::PolicyServer::from_checkpoint(ckpt, cfg);
+  std::vector<serve::Session> sessions;
+  std::vector<int> per_shard(4, 0);
+  for (int i = 0; i < 8; ++i) {
+    sessions.push_back(server->open_session());
+    ++per_shard[static_cast<std::size_t>(sessions.back().shard())];
+  }
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(per_shard[static_cast<std::size_t>(s)], 2);
+}
+
+// FLAG_PINNED equivalence pin (scripts/check_invariants.py): shards=1 is the
+// reference dispatcher, and shards=4 must produce bit-identical sessions —
+// sharding, like batching, changes only throughput.
+TEST(PolicyServerSharded, Shards4MatchesShards1) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_shards.ckpt");
+  serve::ServeConfig one;
+  one.shards = 1;
+  serve::ServeConfig four;
+  four.shards = 4;
+  auto ref = serve::PolicyServer::from_checkpoint(ckpt, one);
+  auto sharded = serve::PolicyServer::from_checkpoint(ckpt, four);
+  ASSERT_NE(ref, nullptr);
+  ASSERT_NE(sharded, nullptr);
+
+  const auto r1 = run_concurrent_sessions(*ref, 8);
+  const auto r4 = run_concurrent_sessions(*sharded, 8);
+  for (std::size_t s = 0; s < r1.size(); ++s) {
+    EXPECT_EQ(r1[s].avg_jct, r4[s].avg_jct) << "session " << s;
+    EXPECT_EQ(r1[s].end_time, r4[s].end_time) << "session " << s;
+    EXPECT_EQ(r1[s].decisions, r4[s].decisions) << "session " << s;
+  }
+  // All four dispatchers actually served (8 sessions round-robin over 4
+  // shards), and the aggregate accounts for every decision.
+  const auto agg = sharded->stats();
+  std::uint64_t sum = 0;
+  for (int s = 0; s < sharded->num_shards(); ++s) {
+    const auto st = sharded->shard_stats(s);
+    EXPECT_GT(st.decisions, 0u) << "shard " << s;
+    sum += st.decisions;
+  }
+  EXPECT_EQ(sum, agg.decisions);
+}
+
+TEST(PolicyServerSharded, AdaptiveBoundedWaitChangesNothingButLatency) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_wait.ckpt");
+  serve::ServeConfig waiting;
+  waiting.shards = 2;
+  waiting.batch_wait_us = 2000;
+  auto ref = serve::PolicyServer::from_checkpoint(ckpt, serve::ServeConfig{});
+  auto waited = serve::PolicyServer::from_checkpoint(ckpt, waiting);
+  ASSERT_NE(waited, nullptr);
+
+  const auto rr = run_concurrent_sessions(*ref, 6);
+  const auto rw = run_concurrent_sessions(*waited, 6);
+  for (std::size_t s = 0; s < rr.size(); ++s) {
+    EXPECT_EQ(rr[s].avg_jct, rw[s].avg_jct) << "session " << s;
+    EXPECT_EQ(rr[s].decisions, rw[s].decisions) << "session " << s;
+  }
+  const auto st = waited->stats();
+  EXPECT_GT(st.decisions, 0u);
+  EXPECT_LE(st.batches, st.decisions);
+}
+
+TEST(PolicyServerSharded, TinyRingBlocksProducersButLosesNothing) {
+  const std::string ckpt = checkpoint_of_fresh_agent("serve_tinyring.ckpt");
+  serve::ServeConfig cfg;
+  cfg.ring_capacity = 2;  // far fewer slots than sessions; pushes must wait
+  auto server = serve::PolicyServer::from_checkpoint(ckpt, cfg);
+  ASSERT_NE(server, nullptr);
+
+  const auto results = run_concurrent_sessions(*server, 6);
+  for (const auto& r : results) {
+    EXPECT_GT(r.decisions, 0u);
+    EXPECT_EQ(r.degradation.ok, r.decisions);  // unbounded: nothing degraded
+  }
+}
+
 }  // namespace
 }  // namespace decima

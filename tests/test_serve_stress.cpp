@@ -46,14 +46,18 @@ sim::EnvConfig serve_env() {
 // Session churn + snapshot hot-swap + concurrent readers, all at once. Every
 // session must complete (no decision may be lost across a swap), the served
 // decision counter must conserve the sessions' query counts, and every swap
-// must be visible in stats().
-TEST(ServeStress, SessionChurnUnderSnapshotSwapsAndReaders) {
+// must be visible in stats(). Run at shards=1 (the reference dispatcher) and
+// shards=4 (cross-shard hot-swap: every shard's dispatcher pins and retires
+// snapshots independently while sessions churn across all of them).
+void churn_under_swaps_and_readers(int shards) {
   constexpr int kSessionThreads = 4;
   constexpr int kSessionsPerThread = 3;
   constexpr int kSwaps = 12;
 
+  serve::ServeConfig cfg;
+  cfg.shards = shards;
   auto server = std::make_unique<serve::PolicyServer>(
-      std::make_unique<const core::DecimaAgent>(agent_config(19)));
+      std::make_unique<const core::DecimaAgent>(agent_config(19)), cfg);
 
   std::atomic<std::uint64_t> decisions{0};
   std::atomic<int> completed_sessions{0};
@@ -109,6 +113,21 @@ TEST(ServeStress, SessionChurnUnderSnapshotSwapsAndReaders) {
   EXPECT_EQ(stats.snapshot_swaps, static_cast<std::uint64_t>(kSwaps));
   EXPECT_EQ(completed_sessions.load(), kSessionThreads * kSessionsPerThread);
   EXPECT_GE(stats.batches, 1u);
+  // Per-shard books must sum to the aggregate — no decision is double- or
+  // un-counted when stats() folds the shards together.
+  std::uint64_t per_shard_sum = 0;
+  for (int s = 0; s < server->num_shards(); ++s) {
+    per_shard_sum += server->shard_stats(s).decisions;
+  }
+  EXPECT_EQ(per_shard_sum, stats.decisions);
+}
+
+TEST(ServeStress, SessionChurnUnderSnapshotSwapsAndReaders) {
+  churn_under_swaps_and_readers(1);
+}
+
+TEST(ServeStress, SessionChurnUnderSnapshotSwapsAndReadersShards4) {
+  churn_under_swaps_and_readers(4);
 }
 
 // swap_policy with null must be a no-op, and a snapshot pinned through
@@ -165,12 +184,16 @@ TEST(ServeStress, ConcurrentStopIsIdempotent) {
 // queue depth stays bounded, every request resolves with an explicit status
 // (zero lost, no hang — the test finishing is itself the liveness check),
 // degradation is exactly accounted, fallback answers keep every session
-// completing its jobs, and saturation actually produced fallbacks.
-TEST(ServeStress, OverloadBackpressureAndFairnessAcrossHundredsOfSessions) {
+// completing its jobs, and saturation actually produced fallbacks. Run at
+// shards=1 and shards=4: the ladder is enforced shard-locally (max_queue
+// bounds each shard's ring; deadlines abandon on each shard independently)
+// and the aggregated books must still balance to the request.
+void overload_backpressure_and_fairness(int shards) {
   constexpr int kThreads = 16;
   constexpr int kSessionsPerThread = 16;  // 256 sessions total
 
   serve::ServeConfig cfg;
+  cfg.shards = shards;
   cfg.max_queue = 4;
   cfg.deadline = 2e-4;
   cfg.heuristic_fallback = true;
@@ -219,10 +242,34 @@ TEST(ServeStress, OverloadBackpressureAndFairnessAcrossHundredsOfSessions) {
   EXPECT_EQ(stats.fallbacks, fallbacks.load());
   EXPECT_EQ(stats.fallbacks, stats.timeouts + stats.rejections);
   EXPECT_EQ(stats.stopped_answers, 0u);
-  // Bounded queue held its bound; 256 sessions on a 4-deep queue with a
-  // 200µs deadline cannot all be served by the policy.
+  // Bounded queue held its bound — per shard: stats() reports the max over
+  // shards, each of which admits at most max_queue requests to its ring.
+  // 256 sessions on 4-deep queues with a 200µs deadline cannot all be
+  // served by the policy.
   EXPECT_LE(stats.max_queue_depth, 4u);
   EXPECT_GT(stats.fallbacks, 0u) << "overload never triggered degradation";
+  // Exact accounting holds per shard too, not just in aggregate.
+  std::uint64_t shard_ok = 0, shard_rej = 0, shard_to = 0, shard_fb = 0;
+  for (int s = 0; s < server->num_shards(); ++s) {
+    const auto st = server->shard_stats(s);
+    EXPECT_LE(st.max_queue_depth, 4u) << "shard " << s;
+    shard_ok += st.decisions;
+    shard_rej += st.rejections;
+    shard_to += st.timeouts;
+    shard_fb += st.fallbacks;
+  }
+  EXPECT_EQ(shard_ok, stats.decisions);
+  EXPECT_EQ(shard_rej, stats.rejections);
+  EXPECT_EQ(shard_to, stats.timeouts);
+  EXPECT_EQ(shard_fb, stats.fallbacks);
+}
+
+TEST(ServeStress, OverloadBackpressureAndFairnessAcrossHundredsOfSessions) {
+  overload_backpressure_and_fairness(1);
+}
+
+TEST(ServeStress, OverloadBackpressureAndFairnessShards4) {
+  overload_backpressure_and_fairness(4);
 }
 
 }  // namespace
